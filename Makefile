@@ -1,0 +1,43 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper figures validate examples clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-paper:
+	REPRO_BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.cli fig3 --kernel all
+	$(PYTHON) -m repro.cli fig4 --kernel all
+	$(PYTHON) -m repro.cli fig5 --kernel all
+	$(PYTHON) -m repro.cli headline
+
+validate:
+	$(PYTHON) -m repro.cli validate
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/latency_tolerance_study.py spmv
+	$(PYTHON) examples/bandwidth_provisioning.py spmv
+	$(PYTHON) examples/custom_kernel.py
+	$(PYTHON) examples/codesign_study.py
+
+clean:
+	rm -rf .pytest_cache benchmarks/.benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

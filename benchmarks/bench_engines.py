@@ -1,0 +1,49 @@
+"""Simulator-performance benches: the two timing engines themselves.
+
+Not a paper figure — these regression-anchor the tool: the fast engine must
+stay orders of magnitude quicker than the event engine (it is what makes
+whole-paper sweeps practical), classification must amortize across sweep
+points, and the engines must agree on the headline quantity.
+"""
+
+import pytest
+
+from repro.core.sweeps import run_implementation
+from repro.engine import simulate_events, simulate_fast
+from repro.kernels import KERNELS
+
+
+@pytest.fixture(scope="module")
+def classified(workloads):
+    spec = KERNELS["fft"]
+    sdv, trace = run_implementation(spec, workloads["fft"], 64, verify=False)
+    return sdv.classify(trace)
+
+
+def test_bench_fast_engine(classified, benchmark):
+    report = benchmark(simulate_fast, classified)
+    assert report.cycles > 0
+
+
+def test_bench_event_engine(classified, benchmark):
+    report = benchmark.pedantic(simulate_events, args=(classified,),
+                                rounds=2, iterations=1)
+    assert report.cycles > 0
+
+
+def test_bench_classification(workloads, benchmark):
+    spec = KERNELS["fft"]
+    sdv, trace = run_implementation(spec, workloads["fft"], 64, verify=False)
+
+    def classify_fresh():
+        # bypass the cache: classification cost per geometry
+        from repro.memory.classify import classify_trace
+        return classify_trace(trace, sdv.config)
+
+    benchmark.pedantic(classify_fresh, rounds=3, iterations=1)
+
+
+def test_engines_agree_on_benchmark_trace(classified, benchmark):
+    fast = benchmark(lambda: simulate_fast(classified).cycles)
+    event = simulate_events(classified).cycles
+    assert fast == pytest.approx(event, rel=0.5)

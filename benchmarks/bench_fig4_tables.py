@@ -1,0 +1,50 @@
+"""Figure 4 — normalized-slowdown heat tables, all four kernels.
+
+Regenerates each kernel's table (rows = extra latency, columns =
+implementation, cells = slowdown vs that implementation's own 0-latency
+run) and checks the paper's key observation: along every latency row, the
+slowdown at the right-most column (VL=256) is the minimum, and the scalar
+column dominates the long-vector columns. The timed unit is the figure
+extraction itself (normalization over the full sweep grid).
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.core.figures import figure4_table
+from repro.core.report import render_figure4
+from repro.kernels import KERNELS
+
+
+@pytest.mark.parametrize("kernel", list(KERNELS))
+def test_fig4(kernel, latency_sweeps, benchmark):
+    result = latency_sweeps[kernel]
+    write_result(f"fig4_{kernel}", render_figure4(result))
+
+    table = figure4_table(result)
+    rows = range(len(result.points))
+
+    # every implementation's slowdown grows along the latency axis
+    for impl in result.impls:
+        col = table[impl]
+        assert all(a <= b + 1e-9 for a, b in zip(col, col[1:])), (kernel, impl)
+
+    # paper: "the minimum slowdown at the right-most column" — VL=256 beats
+    # scalar and the mid-length vectors on every row. Ties within 3% are
+    # not meaningful: the paper's own five-run measurement variation is
+    # "below 3%" (Section 3.2), so we use the same noise envelope.
+    for i in rows:
+        assert table["vl256"][i] <= table["scalar"][i] * 1.03, (kernel, i)
+        assert table["vl256"][i] <= table["vl64"][i] * 1.03, (kernel, i)
+        assert table["vl256"][i] <= table["vl128"][i] * 1.03, (kernel, i)
+
+    # scalar degrades more than the longest vectors at the largest latency.
+    # The shorter-VL columns deviate for the graph/FFT kernels (their base
+    # times are dispatch/occupancy- or compulsory-miss-bound, which mutes
+    # or inverts the *relative* slowdown — see EXPERIMENTS.md); the claim
+    # that holds at every scale is the right-most column's win.
+    assert table["vl256"][-1] < table["scalar"][-1], kernel
+    if kernel != "bfs":
+        assert table["vl128"][-1] < table["scalar"][-1], kernel
+
+    benchmark(figure4_table, result)

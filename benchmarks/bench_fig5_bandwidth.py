@@ -1,0 +1,51 @@
+"""Figure 5 — normalized time vs. the Bandwidth Limiter setting.
+
+Regenerates each kernel's normalized series (1..64 B/cycle, each
+implementation divided by its own 1 B/cycle run) plus the plateau summary,
+and checks Section 4.2's claims: the scalar curves flatten at a few
+B/cycle, while larger VLs keep improving to higher bandwidths. The timed
+unit is one retiming pass at the most throttled setting.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.core.figures import figure5_series, plateau_bandwidth
+from repro.core.report import render_figure5
+from repro.core.sweeps import run_implementation
+from repro.kernels import KERNELS
+
+
+@pytest.mark.parametrize("kernel", list(KERNELS))
+def test_fig5(kernel, bandwidth_sweeps, workloads, benchmark):
+    result = bandwidth_sweeps[kernel]
+    write_result(f"fig5_{kernel}", render_figure5(result))
+
+    series = figure5_series(result)
+    # normalized time never increases with more bandwidth
+    for impl, s in series.items():
+        assert all(a >= b - 1e-9 for a, b in zip(s, s[1:])), (kernel, impl)
+
+    # scalar plateaus at a few B/cycle (paper: 1-2)
+    assert plateau_bandwidth(result, "scalar") <= 4, kernel
+    # the longest vectors saturate at or beyond the scalar plateau, and gain
+    # at least as much total benefit
+    assert (plateau_bandwidth(result, "vl256")
+            >= plateau_bandwidth(result, "scalar")), kernel
+    assert series["vl256"][-1] <= series["scalar"][-1] + 1e-9, kernel
+
+    sdv, trace = run_implementation(KERNELS[kernel], workloads[kernel],
+                                    256, verify=False)
+    sdv.configure(bandwidth_bpc=1)
+    sdv.classify(trace)
+    benchmark(lambda: sdv.time(trace))
+
+
+def test_fig5_spmv_long_vectors_use_high_bandwidth(bandwidth_sweeps, benchmark):
+    """Section 4.2/5: 'the long vector implementations can naturally use
+    bandwidths of 32 or 64 Bytes/Cycle' — sharpest on the memory-bound
+    SpMV."""
+    result = bandwidth_sweeps["spmv"]
+    assert plateau_bandwidth(result, "vl256") >= 16
+    assert plateau_bandwidth(result, "vl128") >= 16
+    benchmark(plateau_bandwidth, result, "vl256")

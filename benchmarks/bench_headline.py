@@ -1,0 +1,35 @@
+"""Section 4.1 headline numbers — SpMV slowdowns quoted in the paper text.
+
+    "adding 32 cycles of latency the scalar code runs 1.22x slower, while
+    the vector implementation with vl=256 only runs 1.05x slower. This is
+    even more pronounced when adding 1024 cycles of latency, with a
+    slowdown of 8.78x compared to 3.39x."
+
+Regenerates the measured-vs-paper table and asserts the contrast holds
+with the right rough magnitudes. The timed unit is the whole headline
+extraction from a cached sweep.
+"""
+
+from conftest import write_result
+from repro.core.figures import headline_numbers
+from repro.core.report import render_headline
+
+
+def test_headline_numbers(latency_sweeps, benchmark):
+    result = latency_sweeps["spmv"]
+    numbers = headline_numbers(result)
+    write_result("headline_spmv", render_headline(numbers))
+
+    # direction and contrast
+    assert numbers.vl256_at_32 < numbers.scalar_at_32
+    assert numbers.vl256_at_1024 < numbers.scalar_at_1024
+    # rough magnitudes (paper: 1.22 / 1.05 / 8.78 / 3.39)
+    assert 1.05 < numbers.scalar_at_32 < 1.6
+    assert numbers.vl256_at_32 < 1.15
+    assert 5.0 < numbers.scalar_at_1024 < 16.0
+    assert 1.1 < numbers.vl256_at_1024 < 6.0
+    # the scalar-vs-vl256 win factor is in the paper's ballpark (2.6x)
+    ratio = numbers.scalar_at_1024 / numbers.vl256_at_1024
+    assert 1.5 < ratio < 8.0
+
+    benchmark(headline_numbers, result)

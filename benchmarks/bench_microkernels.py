@@ -1,0 +1,47 @@
+"""Machine-characterization benches: the STREAM/gather/latency probes.
+
+Not a paper figure — these pin the simulated machine's measured identity
+(peak bandwidth, gather throughput, load-to-use latency) so any timing-
+model change that shifts the substrate shows up here before it muddies the
+paper figures.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.kernels.micro import characterize_machine, stream_triad
+from repro.soc import FpgaSdv
+from repro.util.tables import TextTable
+
+
+def test_machine_probe_table(benchmark):
+    rows = []
+    for label, sdv in [
+        ("default", FpgaSdv()),
+        ("+1024 latency", FpgaSdv().configure(extra_latency=1024)),
+        ("8 B/cycle", FpgaSdv().configure(bandwidth_bpc=8)),
+        ("max VL 8", FpgaSdv().configure(max_vl=8)),
+    ]:
+        p = characterize_machine(sdv)
+        rows.append((label, p))
+    t = TextTable(["setting", "copy B/c", "triad B/c", "gather B/c",
+                   "latency c/hop"])
+    for label, p in rows:
+        t.add_row([label, f"{p.copy_bytes_per_cycle:.1f}",
+                   f"{p.triad_bytes_per_cycle:.1f}",
+                   f"{p.gather_bytes_per_cycle:.1f}",
+                   f"{p.chase_cycles_per_hop:.0f}"])
+    write_result("machine_probe", "Machine characterization probes\n"
+                 + t.render())
+
+    default = rows[0][1]
+    assert default.copy_bytes_per_cycle > 0.85 * 64
+    assert rows[1][1].chase_cycles_per_hop > 1000
+    assert rows[2][1].copy_bytes_per_cycle < default.copy_bytes_per_cycle
+
+    sdv = FpgaSdv()
+    sess = sdv.session()
+    stream_triad(sess)
+    trace = sess.seal()
+    sdv.classify(trace)
+    benchmark(lambda: sdv.time(trace))

@@ -1,0 +1,68 @@
+"""Benchmark fixtures.
+
+Scale selection: ``REPRO_BENCH_SCALE=paper`` runs the exact Section 3.1
+sizes (cage10-scale SpMV, 2^15-node graph, 2048-point FFT) — a few minutes
+of wall clock; the default ``ci`` scale keeps the full benchmark suite
+under a minute while preserving every qualitative shape.
+
+Each figure benchmark regenerates its table/series, writes the rendered
+text to ``benchmarks/results/`` and asserts the paper's qualitative claims;
+the ``benchmark()`` timing target is the retiming step (one fast-engine
+pass over a classified trace), the operation a sweep repeats per point.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.sweeps import bandwidth_sweep, latency_sweep
+from repro.kernels import KERNELS
+from repro.workloads import get_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+VLS = (8, 16, 32, 64, 128, 256)
+LATENCIES = (0, 32, 64, 128, 256, 512, 1024)
+BANDWIDTHS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "ci"))
+
+
+@pytest.fixture(scope="session")
+def workloads(scale):
+    """One prepared workload per kernel (expensive; share across benches)."""
+    return {name: spec.prepare(scale, seed=7)
+            for name, spec in KERNELS.items()}
+
+
+@pytest.fixture(scope="session")
+def latency_sweeps(workloads):
+    """Figure 3/4 data: full latency sweep for every kernel."""
+    return {
+        name: latency_sweep(KERNELS[name], workloads[name],
+                            latencies=LATENCIES, vls=VLS)
+        for name in KERNELS
+    }
+
+
+@pytest.fixture(scope="session")
+def bandwidth_sweeps(workloads):
+    """Figure 5 data: full bandwidth sweep for every kernel."""
+    return {
+        name: bandwidth_sweep(KERNELS[name], workloads[name],
+                              bandwidths=BANDWIDTHS, vls=VLS)
+        for name in KERNELS
+    }
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

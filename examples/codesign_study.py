@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Co-design study: which hardware lever helps a memory-bound kernel most?
+
+The paper's closing argument (Section 5) is that the FPGA-SDV methodology
+enables a *co-design cycle*: tweak an architectural parameter, re-run real
+codes, decide. This script runs that cycle in simulation for SpMV at
+VL=256, varying one parameter at a time around the default build:
+
+* VPU lanes (compute width),
+* decoupled memory-queue depth (latency overlap across instructions),
+* line MSHRs (sustained DRAM parallelism),
+* L2 capacity.
+
+Run:  python examples/codesign_study.py
+"""
+
+from repro import KERNELS, get_scale
+from repro.core.compare import WhatIf
+from repro.util.tables import TextTable
+
+
+def main() -> None:
+    spec = KERNELS["spmv"]
+    workload = spec.prepare(get_scale("ci"), seed=7)
+    study = WhatIf()
+
+    factors = [
+        ("vpu.lanes", [4, 8, 16]),
+        ("vpu.mem_queue_depth", [8, 32, 128]),
+        ("vpu.line_mshrs", [32, 128, 512]),
+        ("l2.bank_bytes", [64 * 1024, 256 * 1024, 1024 * 1024]),
+    ]
+
+    print("SpMV @ VL=256, cage10-profile input, +512 cycles extra latency")
+    print("(kilocycles; the middle value is the default build)\n")
+    for field, values in factors:
+        out = study.measure(field, values, spec=spec, workload=workload,
+                            extra_latency=512)
+        t = TextTable([field, "kcycles", "vs default"])
+        default = out[values[1]]
+        for v in values:
+            t.add_row([v, f"{out[v] / 1e3:.1f}",
+                       f"{default / out[v]:.2f}x"])
+        print(t.render())
+        print()
+
+    print("reading: for this memory-bound kernel under latency pressure,")
+    print("compute width (lanes) moves nothing; the memory-side levers —")
+    print("the decoupled queue and above all the line-MSHR pool — are")
+    print("where the cycles are. That is the 'short reason' the paper")
+    print("gives for investing silicon in long vectors *and* the memory")
+    print("parallelism to feed them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Writing your own kernel against the simulated RVV machine.
+
+The library is not limited to the paper's four codes: anything expressible
+with the RVV-0.7.1 intrinsics surface can be swept the same way. This
+example implements a seven-point 1-D stencil (the inner loop of many PDE
+solvers) in scalar and vector form, validates both, and runs a miniature
+latency sweep — the same workflow the paper applies to SpMV/BFS/PR/FFT.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro import FpgaSdv
+from repro.isa.scalar_ctx import interleave_streams
+
+N = 1 << 14
+COEFFS = (0.05, 0.1, 0.2, 0.3, 0.2, 0.1, 0.05)
+RADIUS = len(COEFFS) // 2
+
+
+def reference(x: np.ndarray) -> np.ndarray:
+    y = np.zeros_like(x)
+    for k, c in enumerate(COEFFS):
+        y[RADIUS:-RADIUS] += c * x[k: k + N - 2 * RADIUS]
+    return y
+
+
+def stencil_scalar(session, x: np.ndarray):
+    """Plain loop: 7 loads + 1 store + ~14 flops per point."""
+    mem, scl = session.mem, session.scalar
+    a_x = mem.alloc("x", x)
+    a_y = mem.alloc("y", N, np.float64)
+    i = np.arange(RADIUS, N - RADIUS, dtype=np.int64)
+    loads = [a_x.addr(i + k - RADIUS) for k in range(len(COEFFS))]
+    addrs = interleave_streams(*loads, a_y.addr(i))
+    writes = np.zeros(addrs.shape[0], dtype=bool)
+    writes[len(COEFFS):: len(COEFFS) + 1] = True
+    scl.emit_block(addrs, writes, n_alu_ops=14 * i.shape[0],
+                   label="stencil-scalar")
+    y = reference(x)
+    a_y.view[:] = y
+    return y
+
+
+def stencil_vector(session, x: np.ndarray):
+    """Strip-mined: 7 shifted unit-stride loads per strip, fused with
+    vfmacc — the textbook vectorization."""
+    mem, scl, vec = session.mem, session.scalar, session.vector
+    a_x = mem.alloc("x", x)
+    a_y = mem.alloc("y", N, np.float64)
+    i = RADIUS
+    end = N - RADIUS
+    while i < end:
+        vl = vec.vsetvl(end - i)
+        scl.emit_alu(4)
+        acc = vec.vfmv(0.0)
+        for k, c in enumerate(COEFFS):
+            v = vec.vle(a_x, i + k - RADIUS)
+            acc = vec.vfmacc(acc, v, c)
+        vec.vse(acc, a_y, i)
+        i += vl
+    return a_y.view.copy()
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(N)
+    ref = reference(x)
+
+    print(f"7-point stencil over {N} points\n")
+    header = f"{'impl':>8} " + " ".join(f"+{L:<7}" for L in (0, 256, 1024))
+    print(header + "  (kcycles)")
+    for label, builder, vl in [("scalar", stencil_scalar, None),
+                               ("vl8", stencil_vector, 8),
+                               ("vl64", stencil_vector, 64),
+                               ("vl256", stencil_vector, 256)]:
+        sdv = FpgaSdv()
+        if vl:
+            sdv.configure(max_vl=vl)
+        session = sdv.session()
+        out = builder(session, x)
+        assert np.allclose(out, ref), label
+        trace = session.seal()
+        times = []
+        for lat in (0, 256, 1024):
+            sdv.configure(extra_latency=lat)
+            times.append(sdv.time(trace).cycles)
+        print(f"{label:>8} " + " ".join(f"{t / 1e3:8.1f}" for t in times)
+              + f"   slowdown @1024: {times[-1] / times[0]:.2f}x")
+
+    print("\nthe dense stencil shows the same structure as the paper's")
+    print("non-dense kernels: longer vectors, flatter latency response.")
+
+
+if __name__ == "__main__":
+    main()

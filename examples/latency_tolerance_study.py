@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Latency-tolerance study (the paper's Section 4.1, as a user would run it).
+
+Scenario: an architect is sizing the memory path for a future many-core
+part. Adding cores (or a longer interposer route) adds load-to-use latency;
+how much single-core performance does each extra hop cost, and does a
+longer-vector VPU buy the head-room the paper claims?
+
+Regenerates Figure 3 (absolute times) and Figure 4 (the green-to-red
+slowdown heat table) for any kernel.
+
+Run:  python examples/latency_tolerance_study.py [spmv|bfs|pagerank|fft]
+"""
+
+import sys
+
+from repro import (
+    DEFAULT_LATENCIES,
+    KERNELS,
+    get_scale,
+    latency_sweep,
+    render_figure3,
+    render_figure4,
+)
+from repro.core.figures import headline_numbers
+from repro.core.report import render_headline
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "spmv"
+    spec = KERNELS[kernel]
+    workload = spec.prepare(get_scale("ci"), seed=7)
+
+    print(f"sweeping extra latency {list(DEFAULT_LATENCIES)} cycles over "
+          f"scalar + VL 8..256 ({kernel})...\n")
+    result = latency_sweep(spec, workload)
+
+    print(render_figure3(result))
+    print()
+    print(render_figure4(result, color=sys.stdout.isatty()))
+    print()
+
+    if kernel == "spmv":
+        print(render_headline(headline_numbers(result)))
+        print()
+
+    # the architect's readout: cycles lost per extra latency cycle
+    print("marginal cost (cycles of runtime per cycle of added latency,")
+    print("between +0 and +1024):")
+    span = result.points[-1] - result.points[0]
+    for impl in result.impls:
+        s = result.series(impl)
+        print(f"  {impl:>7}: {(s[-1] - s[0]) / span:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: boot the simulated FPGA-SDV, run one kernel, read the cycle
+counter, and turn the paper's three knobs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FpgaSdv, KERNELS, get_scale
+
+def main() -> None:
+    # The "bitstream": a default EPAC-like build — RISC-V core, 8-lane VPU
+    # with 256-double registers, 2x2-mesh NoC, 4-bank shared L2, DDR.
+    sdv = FpgaSdv()
+    print(f"machine: max VL={sdv.max_vl} doubles, "
+          f"DRAM latency={sdv.config.dram_latency:.0f} cycles, "
+          f"peak bandwidth={sdv.bandwidth_bpc:.0f} B/cycle")
+
+    # A workload: the cage10-like sparse matrix (CI-scale here).
+    spec = KERNELS["spmv"]
+    workload = spec.prepare(get_scale("ci"), seed=7)
+    print(f"workload: SpMV, {workload.shape[0]} rows, {workload.nnz} nnz\n")
+
+    # Run the scalar implementation and the vector one, verify both.
+    reference = spec.reference(workload)
+    out_s, rep_s = sdv.run(spec.scalar, workload)
+    assert spec.check(out_s, reference)
+    print(f"scalar CSR        : {rep_s.cycles / 1e3:9.1f} kcycles")
+
+    out_v, rep_v = sdv.run(spec.vector, workload)
+    assert spec.check(out_v, reference)
+    print(f"vector SELL vl=256: {rep_v.cycles / 1e3:9.1f} kcycles "
+          f"({rep_s.cycles / rep_v.cycles:.1f}x faster)\n")
+
+    # Knob 1 — the custom max-VL CSR (Section 2.1): cripple the VPU to 8.
+    sdv.configure(max_vl=8)
+    _, rep8 = sdv.run(spec.vector, workload)
+    print(f"vector SELL vl=8  : {rep8.cycles / 1e3:9.1f} kcycles")
+
+    # Knob 2 — the Latency Controller (Section 2.2): +1024 cycles to DRAM.
+    sdv.configure(max_vl=256, extra_latency=1024)
+    _, rep_lat = sdv.run(spec.vector, workload)
+    print(f"vl=256 @ +1024 lat: {rep_lat.cycles / 1e3:9.1f} kcycles "
+          f"({rep_lat.cycles / rep_v.cycles:.2f}x slowdown)")
+
+    # Knob 3 — the Bandwidth Limiter (Section 2.3): throttle to 1 B/cycle.
+    sdv.configure(extra_latency=0, bandwidth_bpc=1)
+    _, rep_bw = sdv.run(spec.vector, workload)
+    print(f"vl=256 @ 1 B/cyc  : {rep_bw.cycles / 1e3:9.1f} kcycles "
+          f"({rep_bw.cycles / rep_v.cycles:.2f}x slowdown)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,247 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Examples::
+
+    repro-sdv fig3 --kernel spmv --scale ci
+    repro-sdv fig3 --kernel spmv --plot --color    # terminal line plot
+    repro-sdv fig4 --kernel all --scale paper --color
+    repro-sdv fig5 --kernel fft
+    repro-sdv headline --scale paper
+    repro-sdv characterize --kernel all            # roofline placement
+    repro-sdv validate                             # run every kernel check
+    repro-sdv info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import SdvConfig
+from repro.core.analysis import characterize, roofline_bound
+from repro.core.figures import headline_numbers
+from repro.core.plots import plot_figure3, plot_figure5
+from repro.core.report import (
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_headline,
+)
+from repro.core.sweeps import (
+    DEFAULT_BANDWIDTHS,
+    DEFAULT_LATENCIES,
+    DEFAULT_VLS,
+    bandwidth_sweep,
+    latency_sweep,
+)
+from repro.kernels import KERNELS
+from repro.workloads import get_scale
+
+
+def _kernel_names(arg: str) -> list[str]:
+    if arg == "all":
+        return list(KERNELS)
+    if arg not in KERNELS:
+        raise SystemExit(
+            f"unknown kernel '{arg}' (choose from {', '.join(KERNELS)}, all)"
+        )
+    return [arg]
+
+
+def _vls(arg: str) -> tuple[int, ...]:
+    if arg == "paper":
+        return DEFAULT_VLS
+    return tuple(int(x) for x in arg.split(","))
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--kernel", default="all",
+                   help="spmv|bfs|pagerank|fft|all (default all)")
+    p.add_argument("--scale", default="ci",
+                   help="workload scale: paper|ci|smoke (default ci)")
+    p.add_argument("--vls", default="paper",
+                   help="comma list of VLs or 'paper' (8..256)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip functional verification against references")
+    p.add_argument("--csv", action="store_true",
+                   help="emit raw CSV instead of rendered tables")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-sdv",
+        description="Reproduce the SC'23 long-vector study on the simulated "
+                    "FPGA-SDV",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p3 = sub.add_parser("fig3", help="execution time vs extra latency")
+    _add_common(p3)
+    p3.add_argument("--plot", action="store_true",
+                    help="terminal line plot instead of a table")
+    p3.add_argument("--color", action="store_true",
+                    help="paper colors: scalar blue, VLs in a red gradient")
+    p4 = sub.add_parser("fig4", help="normalized slowdown heat tables")
+    _add_common(p4)
+    p4.add_argument("--color", action="store_true",
+                    help="ANSI green-to-red gradient")
+    p5 = sub.add_parser("fig5", help="normalized time vs bandwidth limit")
+    _add_common(p5)
+    p5.add_argument("--plot", action="store_true",
+                    help="terminal line plot instead of a table")
+    p5.add_argument("--color", action="store_true",
+                    help="paper colors: scalar blue, VLs in a red gradient")
+    ph = sub.add_parser("headline",
+                        help="Section 4.1 quoted numbers, measured vs paper")
+    _add_common(ph)
+    pc = sub.add_parser("characterize",
+                        help="roofline placement + traffic per kernel")
+    _add_common(pc)
+    pv = sub.add_parser("validate",
+                        help="verify every implementation against references")
+    _add_common(pv)
+    pr = sub.add_parser("report",
+                        help="run the whole study and write a Markdown report")
+    _add_common(pr)
+    pr.add_argument("--output", default="REPORT.md",
+                    help="output path (default REPORT.md)")
+    pp = sub.add_parser("probe",
+                        help="STREAM/gather/latency machine characterization")
+    pp.add_argument("--max-vl", type=int, default=256)
+    pp.add_argument("--extra-latency", type=int, default=0)
+    pp.add_argument("--bandwidth", type=int, default=None,
+                    help="Bandwidth Limiter target in B/cycle")
+    sub.add_parser("info", help="print the simulated machine configuration")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        from repro.core.suite import render_report, run_suite
+        scale_checked = get_scale(args.scale)  # fail fast on bad name
+        suite = run_suite(scale_name=args.scale, seed=args.seed,
+                          vls=_vls(args.vls),
+                          kernels=_kernel_names(args.kernel),
+                          verify=not args.no_verify)
+        text = render_report(suite, seed=args.seed)
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines, "
+              f"{suite.elapsed_s:.1f}s of simulation)")
+        return 0
+
+    if args.command == "probe":
+        from repro.kernels.micro import characterize_machine
+        from repro.soc import FpgaSdv
+        sdv = FpgaSdv().configure(max_vl=args.max_vl,
+                                  extra_latency=args.extra_latency,
+                                  bandwidth_bpc=args.bandwidth)
+        print(f"machine probe (max VL={args.max_vl}, "
+              f"+{args.extra_latency} latency, "
+              f"{sdv.bandwidth_bpc:.0f} B/cycle limit)")
+        print(characterize_machine(sdv).render())
+        return 0
+
+    if args.command == "info":
+        cfg = SdvConfig().validate()
+        print("FPGA-SDV (simulated)")
+        print(f"  core : {cfg.core}")
+        print(f"  vpu  : {cfg.vpu}")
+        print(f"  noc  : {cfg.noc}")
+        print(f"  l2   : {cfg.l2}")
+        print(f"  mem  : {cfg.mem}")
+        print(f"  L2 hit latency  : {cfg.l2_hit_latency:.0f} cycles")
+        print(f"  DRAM latency    : {cfg.dram_latency:.0f} cycles (min)")
+        return 0
+
+    scale = get_scale(args.scale)
+    vls = _vls(args.vls)
+    verify = not args.no_verify
+
+    if args.command == "headline":
+        spec = KERNELS["spmv"]
+        workload = spec.prepare(scale, args.seed)
+        result = latency_sweep(spec, workload, vls=vls, verify=verify)
+        print(render_headline(headline_numbers(result)))
+        return 0
+
+    if args.command == "validate":
+        from repro.core.sweeps import run_implementation
+        failures = 0
+        for name in _kernel_names(args.kernel):
+            spec = KERNELS[name]
+            workload = spec.prepare(scale, args.seed)
+            for vl in (None,) + tuple(vls):
+                label = "scalar" if vl is None else f"vl{vl}"
+                try:
+                    run_implementation(spec, workload, vl, verify=True)
+                    print(f"  ok   {name}/{label}")
+                except Exception as exc:  # pragma: no cover - failure path
+                    failures += 1
+                    print(f"  FAIL {name}/{label}: {exc}")
+        print("all implementations verified" if failures == 0
+              else f"{failures} failures")
+        return 1 if failures else 0
+
+    if args.command == "characterize":
+        from repro.core.sweeps import run_implementation
+        from repro.util.tables import TextTable
+        cfg = SdvConfig().validate()
+        t = TextTable(["kernel", "impl", "AI (flop/B)", "flops/cyc",
+                       "roof", "DRAM B/cyc"])
+        for name in _kernel_names(args.kernel):
+            spec = KERNELS[name]
+            workload = spec.prepare(scale, args.seed)
+            for vl in (None, max(vls)):
+                label = "scalar" if vl is None else f"vl{vl}"
+                sdv, trace = run_implementation(spec, workload, vl,
+                                                verify=verify)
+                ct = sdv.classify(trace)
+                report = sdv.time(trace)
+                c = characterize(ct, report, kernel=name, impl=label)
+                roof = roofline_bound(cfg, c.arithmetic_intensity,
+                                      vector=vl is not None)
+                t.add_row([name, label, f"{c.arithmetic_intensity:.3f}",
+                           f"{c.flops_per_cycle:.3f}", f"{roof:.2f}",
+                           f"{c.dram_bytes_per_cycle:.2f}"])
+        print(t.render())
+        return 0
+
+    for name in _kernel_names(args.kernel):
+        spec = KERNELS[name]
+        t0 = time.time()
+        workload = spec.prepare(scale, args.seed)
+        if args.command == "fig3":
+            result = latency_sweep(spec, workload,
+                                   latencies=DEFAULT_LATENCIES, vls=vls,
+                                   verify=verify)
+            if args.csv:
+                print(result.to_csv())
+            elif args.plot:
+                print(plot_figure3(result, color=args.color))
+            else:
+                print(render_figure3(result))
+        elif args.command == "fig4":
+            result = latency_sweep(spec, workload,
+                                   latencies=DEFAULT_LATENCIES, vls=vls,
+                                   verify=verify)
+            print(result.to_csv() if args.csv
+                  else render_figure4(result, color=args.color))
+        elif args.command == "fig5":
+            result = bandwidth_sweep(spec, workload,
+                                     bandwidths=DEFAULT_BANDWIDTHS, vls=vls,
+                                     verify=verify)
+            if args.csv:
+                print(result.to_csv())
+            elif args.plot:
+                print(plot_figure5(result, color=args.color))
+            else:
+                print(render_figure5(result))
+        print(f"[{name}: {time.time() - t0:.1f}s]", file=sys.stderr)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Workload characterization: roofline placement and traffic breakdown.
+
+The paper motivates its kernel choice by their *non-dense* character (SpMV
+"memory bound", PR "slightly more computational intensity", FFT "arithmetic
+intensity and complex memory access patterns"). This module quantifies
+those statements from the simulator's own data:
+
+* :func:`characterize` — per run: FP-op count, DRAM traffic, arithmetic
+  intensity (flops/DRAM byte), achieved GFLOP-equivalents per cycle, and
+  the roofline bound that limits it;
+* :func:`roofline_bound` — the classic min(peak-compute, AI × bandwidth)
+  model for the simulated machine;
+* :func:`traffic_breakdown` — where the memory references landed
+  (L1/L2/DRAM) and how many bytes each level served.
+
+Used by ``repro-sdv characterize`` and by tests asserting the paper's
+Section 3.1 characterizations hold on our inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SdvConfig
+from repro.engine.results import CycleReport
+from repro.memory.classify import ClassifiedTrace
+from repro.trace.events import ScalarBlock, VectorInstr, VOpClass
+from repro.util.units import LINE_BYTES
+
+#: rough fraction of a scalar block's ALU ops that are floating point (the
+#: remainder is address arithmetic and control); used only for reporting.
+SCALAR_FP_FRACTION = 0.4
+
+#: FP ops contributed per element by each vector op class (fma counts 2)
+_FP_PER_ELEM = {
+    VOpClass.ARITH: 1.0,
+    VOpClass.ARITH_HEAVY: 1.0,
+    VOpClass.REDUCE: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class Characterization:
+    """Roofline-style summary of one kernel execution."""
+
+    kernel: str
+    impl: str
+    cycles: float
+    fp_ops: float
+    dram_bytes: float
+    l1_refs: int
+    l2_refs: int
+    dram_refs: int
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FP ops per byte of DRAM traffic."""
+        return self.fp_ops / self.dram_bytes if self.dram_bytes else float("inf")
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return self.fp_ops / self.cycles if self.cycles else 0.0
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_bytes / self.cycles if self.cycles else 0.0
+
+
+def count_fp_ops(ct: ClassifiedTrace) -> float:
+    """Estimate FP operations executed by a classified trace."""
+    fp = 0.0
+    for rec in ct.trace:
+        if isinstance(rec, ScalarBlock):
+            fp += SCALAR_FP_FRACTION * rec.n_alu_ops
+        elif isinstance(rec, VectorInstr):
+            per_elem = _FP_PER_ELEM.get(rec.op)
+            if per_elem is None:
+                continue
+            elems = rec.active if rec.active is not None else rec.vl
+            mult = 2.0 if rec.opcode == "vfmacc" else per_elem
+            # integer ops carry no FP work
+            if rec.opcode.startswith(("vadd", "vsub", "vmul", "vand", "vor",
+                                      "vxor", "vsll", "vsrl", "vmin", "vmax",
+                                      "vid", "vmv", "vredsum", "vredmax",
+                                      "vredmin")):
+                continue
+            fp += mult * elems
+    return fp
+
+
+def characterize(ct: ClassifiedTrace, report: CycleReport, *,
+                 kernel: str = "", impl: str = "") -> Characterization:
+    """Build the roofline summary for one timed run."""
+    totals = ct.totals
+    return Characterization(
+        kernel=kernel,
+        impl=impl,
+        cycles=report.cycles,
+        fp_ops=count_fp_ops(ct),
+        dram_bytes=float(ct.dram_bytes),
+        l1_refs=totals["l1_hits"],
+        l2_refs=totals["l2_hits"],
+        dram_refs=totals["dram_reads"],
+    )
+
+
+def peak_flops_per_cycle(config: SdvConfig, *, vector: bool) -> float:
+    """Machine compute roof: lanes FMAs/cycle for the VPU, 1 for the core."""
+    if vector:
+        return 2.0 * config.vpu.lanes  # fma = 2 flops per lane per cycle
+    return 2.0 / config.core.issue_width  # one fused op among 2 slots
+
+
+def roofline_bound(config: SdvConfig, ai: float, *, vector: bool) -> float:
+    """Attainable flops/cycle at arithmetic intensity ``ai``."""
+    bw = config.mem.bytes_per_cycle_limit
+    return min(peak_flops_per_cycle(config, vector=vector), ai * bw)
+
+
+def traffic_breakdown(ct: ClassifiedTrace) -> dict[str, float]:
+    """Bytes served per level (scalar refs are 8 B, lines are 64 B)."""
+    t = ct.totals
+    return {
+        "l1_bytes": 8.0 * t["l1_hits"],
+        "l2_bytes": float(LINE_BYTES * t["l2_hits"]),
+        "dram_bytes": float(LINE_BYTES
+                            * (t["dram_reads"] + t["dram_writes"])),
+    }

@@ -1,0 +1,155 @@
+"""Configuration comparison studies ("what-if" analysis).
+
+The co-design loop the paper advocates (Section 5) is: change a hardware
+parameter, re-run the kernels, compare. This module packages that loop:
+
+* :func:`compare_sweeps` — align two :class:`SweepResult` grids point by
+  point and report the speedup of B over A;
+* :func:`compare_configs` — run every kernel on two machine builds and
+  tabulate the ratios (the "is the bigger L2 worth it?" question);
+* :class:`WhatIf` — a fluent helper for one-factor studies over a base
+  config.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import SdvConfig
+from repro.core.measurements import SweepResult
+from repro.core.sweeps import run_implementation
+from repro.errors import ReproError
+from repro.kernels import KERNELS
+from repro.kernels.base import KernelSpec
+from repro.util.tables import TextTable
+
+
+def compare_sweeps(a: SweepResult, b: SweepResult) -> dict[str, list[float]]:
+    """Per-implementation speedup of ``b`` over ``a`` (>1 = b faster).
+
+    Both sweeps must cover the same axis, points and implementations.
+    """
+    if (a.axis != b.axis or a.points != b.points or a.impls != b.impls):
+        raise ReproError("sweep grids differ; nothing to compare")
+    return {
+        impl: [ta / tb for ta, tb in zip(a.series(impl), b.series(impl))]
+        for impl in a.impls
+    }
+
+
+@dataclass(frozen=True)
+class ConfigComparison:
+    """Outcome of running the kernel suite on two machine builds."""
+
+    label_a: str
+    label_b: str
+    #: kernel -> impl -> (cycles_a, cycles_b)
+    cells: dict[str, dict[str, tuple[float, float]]]
+
+    def speedup(self, kernel: str, impl: str) -> float:
+        """cycles_a / cycles_b (>1 = config B faster)."""
+        ca, cb = self.cells[kernel][impl]
+        return ca / cb
+
+    def render(self) -> str:
+        impls = next(iter(self.cells.values())).keys()
+        t = TextTable(["kernel"] + [f"{i} ({self.label_b}/{self.label_a})"
+                                    for i in impls])
+        for kernel, row in self.cells.items():
+            t.add_row([kernel] + [f"{self.speedup(kernel, i):.2f}x"
+                                  for i in row])
+        return t.render()
+
+
+def compare_configs(
+    config_a: SdvConfig,
+    config_b: SdvConfig,
+    *,
+    kernels: dict[str, KernelSpec] | None = None,
+    workloads: dict[str, object] | None = None,
+    scale_name: str = "smoke",
+    seed: int = 7,
+    vls: tuple[int | None, ...] = (None, 256),
+    verify: bool = False,
+) -> ConfigComparison:
+    """Run the suite on both builds; returns the speedup table.
+
+    ``workloads`` may pre-supply prepared workloads (keyed by kernel name);
+    otherwise each spec's ``prepare`` runs at ``scale_name``.
+    """
+    from repro.workloads import get_scale
+
+    kernels = kernels if kernels is not None else KERNELS
+    scale = get_scale(scale_name)
+    cells: dict[str, dict[str, tuple[float, float]]] = {}
+    for name, spec in kernels.items():
+        wl = (workloads[name] if workloads and name in workloads
+              else spec.prepare(scale, seed))
+        row: dict[str, tuple[float, float]] = {}
+        for vl in vls:
+            label = "scalar" if vl is None else f"vl{vl}"
+            times = []
+            for cfg in (config_a, config_b):
+                sdv, trace = run_implementation(spec, wl, vl, config=cfg,
+                                                verify=verify)
+                times.append(sdv.time(trace).cycles)
+            row[label] = (times[0], times[1])
+        cells[name] = row
+    return ConfigComparison(label_a="A", label_b="B", cells=cells)
+
+
+class WhatIf:
+    """One-factor co-design studies over a base configuration.
+
+    >>> from repro.config import SdvConfig
+    >>> study = WhatIf(SdvConfig())
+    >>> cfgs = study.vary("vpu.lanes", [4, 8, 16])
+    >>> [c.vpu.lanes for c in cfgs]
+    [4, 8, 16]
+    """
+
+    def __init__(self, base: SdvConfig | None = None) -> None:
+        self.base = (base if base is not None else SdvConfig()).validate()
+
+    def vary(self, dotted_field: str, values) -> list[SdvConfig]:
+        """Configs with ``dotted_field`` (e.g. ``'vpu.lanes'``) set to each
+        value, everything else from the base."""
+        parts = dotted_field.split(".")
+        if len(parts) != 2:
+            raise ReproError(
+                f"expected 'section.field', got '{dotted_field}'"
+            )
+        section, field = parts
+        if not hasattr(self.base, section):
+            raise ReproError(f"unknown config section '{section}'")
+        sub = getattr(self.base, section)
+        if not hasattr(sub, field):
+            raise ReproError(f"unknown field '{field}' in '{section}'")
+        out = []
+        for v in values:
+            new_sub = dataclasses.replace(sub, **{field: v})
+            out.append(dataclasses.replace(
+                self.base, **{section: new_sub}).validate())
+        return out
+
+    def measure(self, dotted_field: str, values, *,
+                spec: KernelSpec, workload, vl: int | None = 256,
+                extra_latency: int = 0, bandwidth_bpc: int | None = None,
+                metric: Callable | None = None) -> dict:
+        """value -> metric for one kernel across the varied configs.
+
+        The default metric is cycle count; ``extra_latency`` /
+        ``bandwidth_bpc`` set the runtime knobs the study runs under (the
+        memory-side levers only show their worth under pressure).
+        """
+        out = {}
+        for value, cfg in zip(values, self.vary(dotted_field, values)):
+            sdv, trace = run_implementation(spec, workload, vl, config=cfg,
+                                            verify=False)
+            sdv.configure(extra_latency=extra_latency,
+                          bandwidth_bpc=bandwidth_bpc)
+            report = sdv.time(trace)
+            out[value] = metric(report) if metric else report.cycles
+        return out

@@ -1,0 +1,110 @@
+"""Figure/table extraction from sweep results.
+
+Maps :class:`repro.core.measurements.SweepResult` onto the paper's
+presentation:
+
+* **Figure 3** — per kernel, execution time vs extra latency, one series
+  per implementation (scalar in blue, VLs in the red gradient);
+* **Figure 4** — per kernel, each implementation's series normalized to its
+  own 0-extra-latency run (the green→red slowdown heat table);
+* **Figure 5** — per kernel, each implementation's series over the
+  bandwidth sweep normalized to its own 1 B/cycle run;
+* the **headline numbers** of Section 4.1 (SpMV slowdowns at +32/+1024) and
+  the **plateau** analysis of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.measurements import SweepResult
+from repro.errors import ReproError
+
+
+def figure3_series(result: SweepResult) -> dict[str, list[float]]:
+    """impl -> absolute cycles across the latency sweep points."""
+    if result.axis != "latency":
+        raise ReproError("figure3_series needs a latency sweep")
+    return {impl: result.series(impl) for impl in result.impls}
+
+
+def figure4_table(result: SweepResult) -> dict[str, list[float]]:
+    """impl -> slowdowns normalized to that impl's 0-extra-latency run."""
+    if result.axis != "latency":
+        raise ReproError("figure4_table needs a latency sweep")
+    if 0 not in result.points:
+        raise ReproError("figure4 normalization needs the 0-latency point")
+    return {
+        impl: result.normalized_series(impl, baseline_point=0)
+        for impl in result.impls
+    }
+
+
+def figure5_series(result: SweepResult) -> dict[str, list[float]]:
+    """impl -> times normalized to that impl's 1 B/cycle run (lower=better)."""
+    if result.axis != "bandwidth":
+        raise ReproError("figure5_series needs a bandwidth sweep")
+    base_point = min(result.points)
+    return {
+        impl: result.normalized_series(impl, baseline_point=base_point)
+        for impl in result.impls
+    }
+
+
+@dataclass(frozen=True)
+class HeadlineNumbers:
+    """The SpMV slowdowns quoted in Section 4.1 of the paper."""
+
+    scalar_at_32: float
+    vl256_at_32: float
+    scalar_at_1024: float
+    vl256_at_1024: float
+
+    #: values printed in the paper, for side-by-side reporting
+    PAPER = (1.22, 1.05, 8.78, 3.39)
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        p = self.PAPER
+        return [
+            ("scalar slowdown @ +32", self.scalar_at_32, p[0]),
+            ("vl256 slowdown @ +32", self.vl256_at_32, p[1]),
+            ("scalar slowdown @ +1024", self.scalar_at_1024, p[2]),
+            ("vl256 slowdown @ +1024", self.vl256_at_1024, p[3]),
+        ]
+
+
+def headline_numbers(spmv_latency: SweepResult) -> HeadlineNumbers:
+    """Extract the Section 4.1 quoted numbers from an SpMV latency sweep."""
+    table = figure4_table(spmv_latency)
+    points = spmv_latency.points
+
+    def at(impl: str, lat: int) -> float:
+        return table[impl][points.index(lat)]
+
+    return HeadlineNumbers(
+        scalar_at_32=at("scalar", 32),
+        vl256_at_32=at("vl256", 32),
+        scalar_at_1024=at("scalar", 1024),
+        vl256_at_1024=at("vl256", 1024),
+    )
+
+
+def plateau_bandwidth(result: SweepResult, impl: str, *,
+                      threshold: float = 0.05) -> int:
+    """Smallest bandwidth (B/cycle) beyond which ``impl`` improves < 5%.
+
+    Section 4.2's observation: the scalar plateau is at 1-2 B/cycle, VL=8 at
+    2-4, while VL=256 keeps benefiting up to 32-64.
+    """
+    if result.axis != "bandwidth":
+        raise ReproError("plateau analysis needs a bandwidth sweep")
+    series = result.series(impl)
+    points = result.points
+    for i in range(len(points) - 1):
+        cur, nxt = series[i], series[i + 1]
+        if cur <= 0:
+            continue
+        improvement = (cur - nxt) / cur
+        if improvement < threshold:
+            return points[i]
+    return points[-1]

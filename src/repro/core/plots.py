@@ -1,0 +1,152 @@
+"""Terminal line plots for the paper's figures.
+
+The paper presents Figures 3 and 5 as line plots — scalar in blue, vector
+VLs in a red gradient. This module renders the same series as Unicode
+braille-dot plots for terminals (no matplotlib available offline), with the
+paper's color convention when ANSI is enabled: the scalar series in blue,
+vector series in a light→dark red ramp with growing VL.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.core.figures import figure3_series, figure5_series
+from repro.core.measurements import SweepResult
+from repro.errors import ReproError
+
+_RESET = "\x1b[0m"
+_BLUE = "\x1b[38;5;33m"
+#: light -> dark red ramp (256-color codes), the paper's VL gradient
+_RED_RAMP = ("\x1b[38;5;217m", "\x1b[38;5;210m", "\x1b[38;5;203m",
+             "\x1b[38;5;196m", "\x1b[38;5;160m", "\x1b[38;5;124m",
+             "\x1b[38;5;88m")
+
+#: per-series glyphs when color is off (blue=scalar first)
+_MARKERS = "*o+x#%@&"
+
+
+def series_style(impls: Sequence[str]) -> dict[str, tuple[str, str]]:
+    """impl -> (ansi color, fallback marker), paper color convention."""
+    out: dict[str, tuple[str, str]] = {}
+    reds = 0
+    vector_impls = [i for i in impls if i != "scalar"]
+    for k, impl in enumerate(impls):
+        if impl == "scalar":
+            out[impl] = (_BLUE, _MARKERS[0])
+        else:
+            # spread the ramp over however many VLs are plotted
+            pos = (vector_impls.index(impl) * (len(_RED_RAMP) - 1)
+                   // max(1, len(vector_impls) - 1))
+            out[impl] = (_RED_RAMP[pos], _MARKERS[1 + reds % 7])
+            reds += 1
+    return out
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(frac * (cells - 1)))))
+
+
+def ascii_plot(
+    x_labels: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    ylabel: str = "",
+    color: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render named series over a shared categorical x-axis.
+
+    Each series must have exactly ``len(x_labels)`` points. Values may span
+    decades (Figure 3 does); ``logy`` plots their log10.
+    """
+    n = len(x_labels)
+    if n < 2:
+        raise ReproError("need at least two x points to plot")
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ReproError(f"series '{name}' has {len(ys)} points, "
+                             f"x-axis has {n}")
+    transform = (lambda v: math.log10(max(v, 1e-12))) if logy else float
+    values = [transform(v) for ys in series.values() for v in ys]
+    lo, hi = min(values), max(values)
+
+    grid = [[" "] * width for _ in range(height)]
+    styles = series_style(list(series))
+    for name, ys in series.items():
+        ansi, marker = styles.get(name, ("", "?"))
+        glyph = f"{ansi}{marker}{_RESET}" if color else marker
+        prev = None
+        for i, y in enumerate(ys):
+            col = _scale(i, 0, n - 1, width)
+            row = height - 1 - _scale(transform(y), lo, hi, height)
+            grid[row][col] = glyph
+            # connect with a sparse vertical run for readability
+            if prev is not None:
+                pcol, prow = prev
+                for r in range(min(prow, row) + 1, max(prow, row)):
+                    mid = (pcol + col) // 2
+                    if grid[r][mid] == " ":
+                        grid[r][mid] = "." if not color else \
+                            f"{ansi}.{_RESET}"
+            prev = (col, row)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{10 ** hi:.3g}" if logy else f"{hi:.3g}"
+    bottom = f"{10 ** lo:.3g}" if logy else f"{lo:.3g}"
+    margin = max(len(top), len(bottom), len(ylabel)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = top
+        elif r == height - 1:
+            label = bottom
+        elif r == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(label.rjust(margin) + "|" + "".join(row))
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    first, last = str(x_labels[0]), str(x_labels[-1])
+    pad = width - len(first) - len(last)
+    lines.append(" " * (margin + 1) + first + " " * max(1, pad) + last)
+    legend = "  ".join(
+        (f"{styles[name][0]}{styles[name][1]}{_RESET}" if color
+         else styles[name][1]) + f"={name}"
+        for name in series
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def plot_figure3(result: SweepResult, *, color: bool = False,
+                 width: int = 64, height: int = 16) -> str:
+    """Figure 3 as a terminal plot: kcycles (log scale) vs extra latency."""
+    series = {impl: [v / 1e3 for v in ys]
+              for impl, ys in figure3_series(result).items()}
+    return ascii_plot(
+        result.points, series, width=width, height=height, color=color,
+        title=f"Figure 3 — {result.kernel}: kcycles vs extra latency "
+              "(log y)",
+        ylabel="kcyc", logy=True,
+    )
+
+
+def plot_figure5(result: SweepResult, *, color: bool = False,
+                 width: int = 64, height: int = 16) -> str:
+    """Figure 5 as a terminal plot: normalized time vs bandwidth limit."""
+    return ascii_plot(
+        result.points, figure5_series(result), width=width, height=height,
+        color=color,
+        title=f"Figure 5 — {result.kernel}: time normalized to 1 B/cycle",
+        ylabel="t/t1",
+    )

@@ -1,0 +1,63 @@
+"""Plain-text rendering of the paper's figures and tables."""
+
+from __future__ import annotations
+
+from repro.core.figures import (
+    HeadlineNumbers,
+    figure3_series,
+    figure4_table,
+    figure5_series,
+    plateau_bandwidth,
+)
+from repro.core.measurements import SweepResult
+from repro.util.tables import TextTable, render_heat_table
+
+
+def render_figure3(result: SweepResult) -> str:
+    """Figure 3 as a table: rows = extra latency, columns = implementation,
+    cells = absolute kilocycles."""
+    series = figure3_series(result)
+    t = TextTable(["extra lat"] + result.impls)
+    for i, p in enumerate(result.points):
+        t.add_row([p] + [f"{series[impl][i] / 1e3:.1f}k"
+                         for impl in result.impls])
+    return f"Figure 3 — {result.kernel}: execution time (kcycles)\n" + t.render()
+
+
+def render_figure4(result: SweepResult, *, color: bool = False) -> str:
+    """Figure 4's heat table: slowdown vs own 0-latency run."""
+    table = figure4_table(result)
+    values = [
+        [table[impl][i] for impl in result.impls]
+        for i in range(len(result.points))
+    ]
+    return render_heat_table(
+        result.points, result.impls, values,
+        title=(f"Figure 4 — {result.kernel}: slowdown vs 0 extra latency "
+               "(green=min, red=max)"),
+        color=color,
+    )
+
+
+def render_figure5(result: SweepResult) -> str:
+    """Figure 5 as a table: time normalized to the 1 B/cycle run."""
+    series = figure5_series(result)
+    t = TextTable(["B/cycle"] + result.impls)
+    for i, p in enumerate(result.points):
+        t.add_row([p] + [f"{series[impl][i]:.3f}" for impl in result.impls])
+    plateaus = ", ".join(
+        f"{impl}@{plateau_bandwidth(result, impl)}" for impl in result.impls
+    )
+    return (
+        f"Figure 5 — {result.kernel}: time normalized to 1 B/cycle\n"
+        + t.render()
+        + f"\nplateaus (B/cycle): {plateaus}"
+    )
+
+
+def render_headline(h: HeadlineNumbers) -> str:
+    """Side-by-side measured-vs-paper table for the Section 4.1 numbers."""
+    t = TextTable(["quantity", "measured", "paper"])
+    for name, measured, paper in h.rows():
+        t.add_row([name, f"{measured:.2f}x", f"{paper:.2f}x"])
+    return "Section 4.1 headline numbers (SpMV)\n" + t.render()

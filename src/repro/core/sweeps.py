@@ -1,0 +1,157 @@
+"""The paper's three sweeps.
+
+Efficiency structure (what makes paper-scale sweeps tractable):
+
+* the trace of one (kernel, implementation) pair is generated **once** —
+  the Latency Controller and Bandwidth Limiter knobs do not change what the
+  program does, only how long it takes (exactly like the FPGA);
+* the cache classification of that trace is computed **once** (cache
+  geometry is knob-independent) and cached on the trace;
+* each sweep point is then a cheap re-timing pass.
+
+The default sweep axes follow Section 4: extra latency 0..1024 cycles,
+bandwidth 1..64 B/cycle in powers of two, VL in {8,...,256} plus scalar.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.config import SdvConfig
+from repro.core.measurements import Measurement, SweepResult
+from repro.errors import KernelError
+from repro.kernels.base import KernelSpec
+from repro.soc.sdv import FpgaSdv
+from repro.trace.events import TraceBuffer
+
+#: Figure 3/4 x-axis: extra latency cycles added by the Latency Controller.
+DEFAULT_LATENCIES: tuple[int, ...] = (0, 32, 64, 128, 256, 512, 1024)
+
+#: Figure 5 x-axis: Bandwidth Limiter setting in bytes/cycle.
+DEFAULT_BANDWIDTHS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: vector lengths evaluated in the paper (doubles per register).
+DEFAULT_VLS: tuple[int, ...] = (8, 16, 32, 64, 128, 256)
+
+
+def impl_label(vl: int | None) -> str:
+    """Column label: None -> 'scalar', 128 -> 'vl128'."""
+    return "scalar" if vl is None else f"vl{vl}"
+
+
+def run_implementation(
+    spec: KernelSpec,
+    workload,
+    vl: int | None,
+    *,
+    config: SdvConfig | None = None,
+    verify: bool = True,
+) -> tuple[FpgaSdv, TraceBuffer]:
+    """Build one implementation's trace on a fresh SDV.
+
+    Returns the SDV (holding the workload's memory image configuration) and
+    the sealed trace, ready to be re-timed at many knob settings.
+    """
+    sdv = FpgaSdv(config)
+    if vl is not None:
+        sdv.configure(max_vl=vl)
+    session = sdv.session()
+    builder = spec.vector if vl is not None else spec.scalar
+    output = builder(session, workload)
+    trace = session.seal()
+    if verify:
+        ref = spec.reference(workload)
+        if not spec.check(output, ref):
+            raise KernelError(
+                f"{spec.name}/{impl_label(vl)} produced a wrong result"
+            )
+    return sdv, trace
+
+
+def _impls(vls: Sequence[int], include_scalar: bool) -> list[int | None]:
+    out: list[int | None] = [None] if include_scalar else []
+    out.extend(vls)
+    return out
+
+
+def latency_sweep(
+    spec: KernelSpec,
+    workload,
+    *,
+    latencies: Iterable[int] = DEFAULT_LATENCIES,
+    vls: Sequence[int] = DEFAULT_VLS,
+    include_scalar: bool = True,
+    config: SdvConfig | None = None,
+    verify: bool = True,
+    keep_reports: bool = False,
+) -> SweepResult:
+    """Section 4.1: execution time vs. extra memory latency."""
+    latencies = list(latencies)
+    impls = _impls(vls, include_scalar)
+    result = SweepResult(
+        kernel=spec.name, axis="latency", points=latencies,
+        impls=[impl_label(v) for v in impls],
+    )
+    for vl in impls:
+        sdv, trace = run_implementation(spec, workload, vl, config=config,
+                                        verify=verify)
+        for lat in latencies:
+            sdv.configure(extra_latency=lat)
+            report = sdv.time(trace)
+            result.add(Measurement(
+                kernel=spec.name, impl=impl_label(vl), extra_latency=lat,
+                bandwidth_bpc=int(sdv.bandwidth_bpc), cycles=report.cycles,
+                report=report if keep_reports else None,
+            ))
+    return result
+
+
+def bandwidth_sweep(
+    spec: KernelSpec,
+    workload,
+    *,
+    bandwidths: Iterable[int] = DEFAULT_BANDWIDTHS,
+    vls: Sequence[int] = DEFAULT_VLS,
+    include_scalar: bool = True,
+    config: SdvConfig | None = None,
+    verify: bool = True,
+    keep_reports: bool = False,
+) -> SweepResult:
+    """Section 4.2: execution time vs. the Bandwidth Limiter setting."""
+    bandwidths = list(bandwidths)
+    impls = _impls(vls, include_scalar)
+    result = SweepResult(
+        kernel=spec.name, axis="bandwidth", points=bandwidths,
+        impls=[impl_label(v) for v in impls],
+    )
+    for vl in impls:
+        sdv, trace = run_implementation(spec, workload, vl, config=config,
+                                        verify=verify)
+        for bpc in bandwidths:
+            sdv.configure(bandwidth_bpc=bpc)
+            report = sdv.time(trace)
+            result.add(Measurement(
+                kernel=spec.name, impl=impl_label(vl),
+                extra_latency=sdv.extra_latency, bandwidth_bpc=bpc,
+                cycles=report.cycles,
+                report=report if keep_reports else None,
+            ))
+    return result
+
+
+def vl_sweep(
+    spec: KernelSpec,
+    workload,
+    *,
+    vls: Sequence[int] = DEFAULT_VLS,
+    config: SdvConfig | None = None,
+    verify: bool = True,
+) -> dict[str, float]:
+    """Execution time per implementation at the default knob settings
+    (the zero-extra-latency, full-bandwidth column of Figures 3/4)."""
+    out: dict[str, float] = {}
+    for vl in _impls(vls, include_scalar=True):
+        sdv, trace = run_implementation(spec, workload, vl, config=config,
+                                        verify=verify)
+        out[impl_label(vl)] = sdv.time(trace).cycles
+    return out

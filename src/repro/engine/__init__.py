@@ -1,0 +1,21 @@
+"""Timing engines.
+
+Two engines consume a :class:`repro.memory.classify.ClassifiedTrace`:
+
+* :func:`repro.engine.fast_sim.simulate_fast` — a vectorized/per-record
+  analytical walk of the machine (scalar core + decoupled VPU + throttled
+  memory). Used for all sweeps; milliseconds per run.
+* :func:`repro.engine.event_sim.simulate_events` — a discrete-event
+  reference model at line-request granularity. Slower, used to validate the
+  fast engine and for detailed single runs.
+
+Both share the cost models in :mod:`core_model` and :mod:`vpu_model`, so a
+disagreement between them localizes to queueing/overlap behaviour, which is
+exactly what the cross-validation tests probe.
+"""
+
+from repro.engine.results import CycleReport
+from repro.engine.fast_sim import simulate_fast
+from repro.engine.event_sim import simulate_events
+
+__all__ = ["CycleReport", "simulate_fast", "simulate_events"]

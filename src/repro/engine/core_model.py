@@ -1,0 +1,89 @@
+"""Scalar-core (Atrevido-like) cost model.
+
+Atrevido is a superscalar out-of-order core, but a modest one: its ability
+to overlap memory latency is bounded by its MSHRs and by how many of the
+pending misses are actually independent (the trace's ``mlp_hint``). The
+block-level model used by both engines:
+
+* **issue time** — instructions retire at most ``issue_width`` per cycle;
+* **memory stall time** — every L2-hit or DRAM access contributes its
+  latency divided by the effective memory-level parallelism
+  ``p = min(mshrs, mlp_hint)`` (an OoO core with p MSHRs sustains p misses
+  in flight when the code allows it);
+* **bandwidth floor** — the block cannot finish before its DRAM
+  transactions stream through the Bandwidth Limiter.
+
+The block time is ``max(issue + stall, bw)``: a modest OoO window overlaps
+latency between misses (the ``/p`` factor) but does not hide residual
+memory stalls under issue work, so the two add — this matches the paper's
+observation that the scalar core degrades steeply with latency even on
+MLP-friendly code. L1 hits are covered by the issue slots (the 2-cycle
+load-to-use pipes through the OoO window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SdvConfig
+
+
+@dataclass(frozen=True)
+class ScalarBlockTime:
+    """Timing decomposition of one scalar block."""
+
+    issue: float
+    stall_l2: float
+    stall_dram: float
+    bw_floor: float
+
+    @property
+    def total(self) -> float:
+        return max(self.issue + self.stall_l2 + self.stall_dram, self.bw_floor)
+
+    @property
+    def stall(self) -> float:
+        return self.stall_l2 + self.stall_dram
+
+
+def scalar_block_time(
+    config: SdvConfig,
+    *,
+    n_alu: int,
+    n_mem: int,
+    l2_hits: int,
+    dram_reads: int,
+    dram_writes: int,
+    mlp_hint: int,
+    pf_dram_reads: int = 0,
+) -> ScalarBlockTime:
+    """Cycle cost of one scalar block under the current knob settings.
+
+    ``pf_dram_reads`` are prefetcher-issued fills: they consume Bandwidth
+    Limiter slots but add no demand stall (the prefetcher runs ahead).
+    """
+    core = config.core
+    issue = (n_alu * core.alu_cpi + n_mem) / core.issue_width
+
+    p = max(1, min(core.mshrs, mlp_hint))
+    stall_l2 = l2_hits * config.l2_hit_latency / p
+    stall_dram = dram_reads * config.dram_latency / p
+
+    mem = config.mem
+    bw_floor = ((dram_reads + dram_writes + pf_dram_reads)
+                * mem.bw_den / mem.bw_num)
+
+    return ScalarBlockTime(issue=issue, stall_l2=stall_l2,
+                           stall_dram=stall_dram, bw_floor=bw_floor)
+
+
+#: cycles the scalar core spends dispatching one vector instruction to the
+#: decoupled VPU (fall-through cost in the scalar pipeline).
+VECTOR_DISPATCH_CYCLES: float = 1.0
+
+#: scalar-side cost of a vsetvl (reads/writes vl CSR, forwards to VPU).
+VSETVL_CYCLES: float = 3.0
+
+#: extra scalar cycles when an instruction returns a scalar result from the
+#: VPU (vpopc/vfirst/reductions): result transfer over the coupling interface.
+SCALAR_RESULT_TRANSFER_CYCLES: float = 4.0

@@ -1,0 +1,212 @@
+"""Minimal discrete-event simulation kernel (SimPy-flavoured).
+
+The event engine models the FPGA-SDV as communicating processes (core, VPU
+pipes, L2 banks, DRAM channel); this module provides the scheduling
+substrate: an :class:`Environment` with a time-ordered event heap,
+generator-based :class:`Process` coroutines that ``yield`` events, and a
+FIFO :class:`Resource` for contended units.
+
+Only the features the event engine needs are implemented — this is not a
+general SimPy replacement, but it is a real DES kernel with deterministic
+FIFO ordering (ties broken by schedule order), which the tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator
+
+from repro.errors import EngineError
+
+
+class Event:
+    """One-shot event; processes waiting on it resume when it succeeds."""
+
+    __slots__ = ("env", "callbacks", "triggered", "value")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger now (schedules callbacks at the current time)."""
+        if self.triggered:
+            raise EngineError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.env._schedule(self, 0.0)
+        return self
+
+    def succeed_at(self, time: float, value: Any = None) -> "Event":
+        """Trigger at an absolute future time."""
+        if self.triggered:
+            raise EngineError("event already triggered")
+        if time < self.env.now:
+            raise EngineError(
+                f"cannot trigger in the past ({time} < {self.env.now})"
+            )
+        self.triggered = True
+        self.value = value
+        self.env._schedule(self, time - self.env.now)
+        return self
+
+
+class Timeout(Event):
+    """Event that fires after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float) -> None:
+        super().__init__(env)
+        if delay < 0:
+            raise EngineError(f"negative timeout {delay}")
+        self.triggered = True
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A generator coroutine; itself an event that fires on return."""
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, env: "Environment",
+                 gen: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        self._gen = gen
+        # bootstrap on the next tick
+        boot = Event(env)
+        boot.triggered = True
+        boot.callbacks.append(self._resume)
+        env._schedule(boot, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._gen.send(event.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.triggered = True
+                self.value = stop.value
+                self.env._schedule(self, 0.0)
+            return
+        if not isinstance(target, Event):
+            raise EngineError(
+                f"process yielded {type(target).__name__}, expected Event"
+            )
+        if target.triggered and not target.callbacks and target in \
+                self.env._fired:
+            # already fired and processed: resume immediately
+            boot = Event(self.env)
+            boot.triggered = True
+            boot.value = target.value
+            boot.callbacks.append(self._resume)
+            self.env._schedule(boot, 0.0)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Fires when all child events have fired."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, env: "Environment", events: list[Event]) -> None:
+        super().__init__(env)
+        pending = [e for e in events if e not in env._fired]
+        self._pending = len(pending)
+        if self._pending == 0:
+            self.succeed()
+            return
+        for e in pending:
+            e.callbacks.append(self._child_fired)
+
+    def _child_fired(self, _event: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed()
+
+
+class Resource:
+    """FIFO resource with fixed capacity (e.g. an L2 bank port)."""
+
+    __slots__ = ("env", "capacity", "_in_use", "_queue")
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise EngineError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: deque[Event] = deque()
+
+    def request(self) -> Event:
+        """Event that fires when a unit is granted (FIFO order)."""
+        ev = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._queue.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._queue:
+            self._queue.popleft().succeed()
+        else:
+            self._in_use -= 1
+            if self._in_use < 0:
+                raise EngineError("release without matching request")
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+
+class Environment:
+    """Event loop: a heap of (time, seq, event)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._fired: set[Event] = set()
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        return Process(self, gen)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the heap drains (or ``until`` is reached)."""
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
+            if until is not None and time > until:
+                self.now = until
+                heapq.heappush(heap, (time, _seq, event))
+                return
+            if time < self.now:
+                raise EngineError("time went backwards")
+            self.now = time
+            self._fired.add(event)
+            callbacks, event.callbacks = event.callbacks, []
+            for cb in callbacks:
+                cb(event)
+            # callbacks may have re-appended (e.g. AllOf children); drain
+            while event.callbacks:
+                cbs, event.callbacks = event.callbacks, []
+                for cb in cbs:
+                    cb(event)

@@ -1,0 +1,362 @@
+"""Discrete-event reference engine.
+
+Models the FPGA-SDV as communicating processes on the DES kernel
+(:mod:`repro.engine.des`):
+
+* the **scalar core** walks the trace in order, issuing scalar accesses at
+  its issue width with MSHR-bounded outstanding misses, dispatching vector
+  instructions to the VPU, stalling on scalar-destination results, queue-full
+  dispatch and barriers;
+* the **arith pipe** executes vector arithmetic in order with the
+  :mod:`vpu_model` occupancies, honoring RAW dependencies and chaining;
+* the **vector memory unit** issues line requests at the AGU rate through
+  the NoC to the per-bank L2 ports; misses stream through the Bandwidth
+  Limiter window and the Latency Controller to DRAM.
+
+The hit/miss outcome of every request comes from the classification pass
+(the caches are deterministic state machines, so there is no point
+re-simulating them here); what this engine adds over the fast engine is
+*queueing*: real per-bank contention, real limiter windows, real MSHR and
+decoupled-queue occupancy. The cross-validation tests assert the two agree.
+
+This engine is O(events) in Python and is intended for validation and
+detailed study of small/medium traces, not for full paper-scale sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import core_model, vpu_model
+from repro.engine.des import Environment, Event, Resource
+from repro.engine.results import CycleReport
+from repro.errors import EngineError
+from repro.memory.bandwidth_limiter import BandwidthLimiter
+from repro.memory.classify import (
+    KIND_BARRIER,
+    KIND_SCALAR,
+    KIND_VARITH,
+    KIND_VMEM,
+    AccessLevel,
+    ClassifiedTrace,
+    _coalesce_lines,
+)
+from repro.memory.noc import MeshNoc
+from repro.trace.events import ScalarBlock, VectorInstr, VMemPattern, VOpClass
+from repro.util.mathx import log2_int
+from repro.util.units import LINE_BYTES
+
+_OPCLASS = list(VOpClass)
+_PATTERN = list(VMemPattern)
+_LINE_SHIFT = log2_int(LINE_BYTES)
+
+
+class _Machine:
+    """All simulation state for one run."""
+
+    def __init__(self, ct: ClassifiedTrace) -> None:
+        self.ct = ct
+        self.config = ct.config
+        self.rows = ct.rows
+        self.records = ct.trace.records
+        self.env = Environment()
+        cfg = self.config
+
+        self.limiter = BandwidthLimiter(cfg.mem.bw_num, cfg.mem.bw_den)
+        self.noc = MeshNoc(cfg.noc)
+        self.bank_ports = [Resource(self.env, 1) for _ in range(cfg.l2.banks)]
+        self.bank_one_way = [
+            self.noc.one_way_latency(0, b % cfg.noc.nodes)
+            for b in range(cfg.l2.banks)
+        ]
+        self.arith_pipe = Resource(self.env, 1)
+        self.agu = Resource(self.env, 1)
+        self.mem_slots = Resource(self.env, cfg.vpu.mem_queue_depth)
+        self.line_mshrs = Resource(self.env, cfg.vpu.line_mshrs)
+
+        n = self.rows.shape[0]
+        self.done_ev: list[Event] = [self.env.event() for _ in range(n)]
+        self.chain_ev: list[Event] = [self.env.event() for _ in range(n)]
+        self.done_time = np.full(n, -1.0)
+        self.pending: set[int] = set()
+
+        # breakdown accumulators
+        self.acc_issue = 0.0
+        self.acc_stall = 0.0
+        self.acc_varith = 0.0
+        self.acc_vmem = 0.0
+        self.dram_reads = int(self.rows["dram_reads"].sum()
+                              + self.rows["pf_dram_reads"].sum())
+        self.dram_writes = int(self.rows["dram_writes"].sum())
+
+    # ------------------------------------------------------------ memory path
+
+    def line_request(self, bank: int, level: int, *, pre_delay: float = 0.0,
+                     resp_ev: Event | None = None, vector: bool = False):
+        """One 64-byte read request: NoC → bank port → (DRAM) → response.
+
+        Vector-side DRAM requests occupy one of the memory unit's line
+        MSHRs for their whole flight (the scalar core's MSHR bound is
+        modeled in :meth:`scalar_block`).
+        """
+        env = self.env
+        if pre_delay > 0:
+            yield env.timeout(pre_delay)
+        mshr_held = False
+        if vector and level == AccessLevel.DRAM:
+            grant = self.line_mshrs.request()
+            yield grant
+            mshr_held = True
+        yield env.timeout(self.bank_one_way[bank])
+        grant = self.bank_ports[bank].request()
+        yield grant
+        yield env.timeout(1.0)  # pipelined bank port occupancy
+        self.bank_ports[bank].release()
+        yield env.timeout(self.config.l2.access_cycles - 1.0)
+        if level == AccessLevel.DRAM:
+            admit = self.limiter.admit(env.now)
+            if admit > env.now:
+                yield env.timeout(admit - env.now)
+            yield env.timeout(self.config.mem.extra_latency_cycles
+                              + self.config.mem.dram_service_cycles)
+        yield env.timeout(self.bank_one_way[bank])
+        if mshr_held:
+            self.line_mshrs.release()
+        if resp_ev is not None and not resp_ev.triggered:
+            resp_ev.succeed()
+
+    def dram_writeback(self, bank: int):
+        """Fire-and-forget write transaction (consumes limiter bandwidth)."""
+        env = self.env
+        yield env.timeout(self.bank_one_way[bank])
+        admit = self.limiter.admit(env.now)
+        if admit > env.now:
+            yield env.timeout(admit - env.now)
+        yield env.timeout(self.config.mem.extra_latency_cycles
+                          + self.config.mem.dram_service_cycles)
+
+    # -------------------------------------------------------------- dependency
+
+    def wait_dep(self, dep: int):
+        """Wait until a consumer of record ``dep`` may start."""
+        if self.config.vpu.chaining:
+            yield self.chain_ev[dep]
+            yield self.env.timeout(vpu_model.LANE_PIPE_DEPTH)
+        else:
+            yield self.done_ev[dep]
+
+    def enforce_floor(self, dep: int):
+        """Consumer completion floor: producer done + pipe depth."""
+        if not self.config.vpu.chaining:
+            return
+        yield self.done_ev[dep]
+        target = self.done_time[dep] + vpu_model.LANE_PIPE_DEPTH
+        if self.env.now < target:
+            yield self.env.timeout(target - self.env.now)
+
+    def finish(self, i: int) -> None:
+        self.done_time[i] = self.env.now
+        if not self.done_ev[i].triggered:
+            self.done_ev[i].succeed()
+        if not self.chain_ev[i].triggered:
+            self.chain_ev[i].succeed()
+        self.pending.discard(i)
+
+    # ----------------------------------------------------------------- scalar
+
+    def scalar_block(self, i: int, rec: ScalarBlock):
+        env = self.env
+        row = self.rows[i]
+        levels = self.ct.levels[i]
+        core = self.config.core
+        n_mem = rec.n_mem_ops
+
+        if n_mem == 0:
+            issue = rec.n_alu_ops * core.alu_cpi / core.issue_width
+            self.acc_issue += issue
+            if issue > 0:
+                yield env.timeout(issue)
+            return
+
+        t_start = env.now
+        lines = rec.mem_addrs >> _LINE_SHIFT
+        p = max(1, min(core.mshrs, rec.mlp_hint))
+        gap = (rec.n_alu_ops * core.alu_cpi / n_mem + 1.0) / core.issue_width
+        self.acc_issue += gap * n_mem
+
+        outstanding: list[Event] = []
+        wb_left = int(row["dram_writes"])
+        pf_left = int(row["pf_dram_reads"])
+        for j in range(n_mem):
+            yield env.timeout(gap)
+            level = int(levels[j])
+            if level == AccessLevel.L1:
+                continue
+            if len(outstanding) >= p:
+                # FIFO MSHRs: wait for the oldest outstanding miss
+                yield outstanding.pop(0)
+            bank = int(lines[j]) & (self.config.l2.banks - 1)
+            resp = env.event()
+            env.process(self.line_request(
+                bank, level, pre_delay=core.l1_hit_cycles, resp_ev=resp))
+            outstanding.append(resp)
+            if wb_left > 0:
+                # attribute the block's writebacks to its earliest misses
+                env.process(self.dram_writeback(bank))
+                wb_left -= 1
+            if pf_left > 0:
+                # prefetcher fill: fire-and-forget read on the same channel
+                env.process(self.dram_writeback((bank + 1)
+                                                % self.config.l2.banks))
+                pf_left -= 1
+        for ev in outstanding:
+            yield ev
+        while wb_left > 0:  # writebacks beyond the miss count (rare)
+            env.process(self.dram_writeback(0))
+            wb_left -= 1
+        self.acc_stall += env.now - t_start - gap * n_mem
+
+    # ----------------------------------------------------------------- vector
+
+    def varith(self, i: int):
+        env = self.env
+        row = self.rows[i]
+        opclass = _OPCLASS[row["opclass"]]
+        grant = self.arith_pipe.request()
+        yield grant
+        dep = int(row["dep"])
+        if dep >= 0:
+            yield from self.wait_dep(dep)
+        if not self.chain_ev[i].triggered:
+            self.chain_ev[i].succeed()  # consumers may chain from our start
+        occ = vpu_model.arith_occupancy(self.config, opclass, int(row["vl"]))
+        self.acc_varith += occ
+        yield env.timeout(occ)
+        self.arith_pipe.release()
+        # result becomes visible one pipeline latency after issue completes
+        yield env.timeout(vpu_model.arith_latency(self.config))
+        if dep >= 0:
+            yield from self.enforce_floor(dep)
+        self.finish(i)
+
+    def vmem(self, i: int, rec: VectorInstr):
+        env = self.env
+        row = self.rows[i]
+        levels = self.ct.levels[i]
+        pattern = _PATTERN[row["pattern"]]
+        cost = vpu_model.vmem_cost(
+            self.config,
+            pattern=pattern,
+            vl=int(row["vl"]),
+            active=int(row["active"]),
+            n_lines=int(row["n_line_reqs"]),
+            dram_reads=int(row["dram_reads"]),
+            dram_writes=int(row["dram_writes"]),
+        )
+        dep = int(row["dep"])
+        if self.config.vpu.ooo_mem_issue:
+            # OoO memory queue: wait for operands *before* claiming the AGU,
+            # so younger independent loads stream past a stalled gather
+            if dep >= 0:
+                yield from self.wait_dep(dep)
+            grant = self.agu.request()
+            yield grant
+        else:
+            # strict in-order issue: hold the AGU through the operand wait
+            grant = self.agu.request()
+            yield grant
+            if dep >= 0:
+                yield from self.wait_dep(dep)
+
+        lines = _coalesce_lines(rec.addrs, rec.pattern,
+                                self.config.vpu.coalesce_gathers)
+        n_lines = lines.shape[0]
+        if n_lines != levels.shape[0]:
+            raise EngineError("classified levels misaligned with line requests")
+        issue_gap = (cost.addr_cycles / n_lines) if n_lines else 0.0
+        t_busy_start = env.now
+
+        responses: list[Event] = []
+        first_resp = self.chain_ev[i]
+        wb_left = int(row["dram_writes"])
+        for j in range(n_lines):
+            if issue_gap > 0:
+                yield env.timeout(issue_gap)
+            bank = int(lines[j]) & (self.config.l2.banks - 1)
+            resp = env.event()
+            env.process(self.line_request(bank, int(levels[j]), resp_ev=resp,
+                                          vector=True))
+            responses.append(resp)
+            if j == 0 and not first_resp.triggered:
+                # chain-ready fires with the first response
+                def _fire_first(_e, fr=first_resp):
+                    if not fr.triggered:
+                        fr.succeed()
+                resp.callbacks.append(_fire_first)
+            if wb_left > 0:
+                env.process(self.dram_writeback(bank))
+                wb_left -= 1
+        self.agu.release()
+        if responses:
+            yield env.all_of(responses)
+        self.acc_vmem += env.now - t_busy_start
+        if dep >= 0:
+            yield from self.enforce_floor(dep)
+        self.finish(i)
+        self.mem_slots.release()
+
+    # ------------------------------------------------------------------- core
+
+    def core(self):
+        env = self.env
+        rows = self.rows
+        for i, rec in enumerate(self.records):
+            kind = int(rows[i]["kind"])
+            if kind == KIND_SCALAR:
+                yield from self.scalar_block(i, rec)
+                self.finish(i)
+                continue
+            if kind == KIND_BARRIER:
+                waits = [self.done_ev[j] for j in sorted(self.pending)]
+                if waits:
+                    yield env.all_of(waits)
+                self.finish(i)
+                continue
+            opclass = _OPCLASS[rows[i]["opclass"]]
+            if kind == KIND_VARITH and opclass is VOpClass.CSR:
+                yield env.timeout(core_model.VSETVL_CYCLES)
+                self.finish(i)
+                continue
+            yield env.timeout(core_model.VECTOR_DISPATCH_CYCLES)
+            if kind == KIND_VARITH:
+                self.pending.add(i)
+                env.process(self.varith(i))
+            elif kind == KIND_VMEM:
+                slot = self.mem_slots.request()
+                yield slot  # core stalls while the decoupled queue is full
+                self.pending.add(i)
+                env.process(self.vmem(i, rec))
+            else:
+                raise EngineError(f"unknown record kind {kind}")
+            if rows[i]["scalar_dest"]:
+                yield self.done_ev[i]
+                yield env.timeout(core_model.SCALAR_RESULT_TRANSFER_CYCLES)
+
+
+def simulate_events(ct: ClassifiedTrace) -> CycleReport:
+    """Run the discrete-event model over a classified trace."""
+    m = _Machine(ct)
+    m.env.process(m.core())
+    m.env.run()
+    return CycleReport(
+        cycles=m.env.now,
+        engine="event",
+        scalar_issue_cycles=m.acc_issue,
+        scalar_stall_cycles=m.acc_stall,
+        vpu_arith_cycles=m.acc_varith,
+        vpu_mem_cycles=m.acc_vmem,
+        bandwidth_bound_cycles=0.0,
+        dram_reads=m.dram_reads,
+        dram_writes=m.dram_writes,
+        meta={"records": int(ct.rows.shape[0])},
+    )

@@ -1,0 +1,89 @@
+"""OS/measurement noise model (Section 3.2 methodology).
+
+The paper reads the cycle-counter CSR, averages five runs, and reports that
+run-to-run variation stays below 3% — so error bars are omitted. Our
+simulator is deterministic; this module adds back the *measurement-protocol*
+layer so experiments can be scripted exactly like on the FPGA:
+
+* :class:`NoiseModel` — a seeded multiplicative jitter representing OS
+  ticks, refresh collisions, and NFS interrupts on the emulated Linux. The
+  default magnitude is calibrated so that 5-run spreads stay within the
+  paper's <3% envelope.
+* :func:`measure` — the five-run protocol: run, average, report the spread.
+
+Sweeps use the noiseless engines directly (determinism is a feature for
+regression testing); the measurement protocol exists for fidelity studies
+and for tests of the protocol itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.util.prng import make_rng
+
+#: the paper's observed bound on run-to-run variation
+PAPER_VARIATION_BOUND = 0.03
+
+#: number of runs averaged in the paper
+PAPER_RUNS = 5
+
+
+class NoiseModel:
+    """Seeded multiplicative jitter applied to a cycle count.
+
+    ``sigma`` is the standard deviation of the relative perturbation; the
+    default 0.8% keeps a five-run max/min spread within the paper's 3%
+    bound with very high probability while still being visible.
+    """
+
+    def __init__(self, sigma: float = 0.008, seed: int = 1234) -> None:
+        if not 0 <= sigma < 0.2:
+            raise ConfigError(f"noise sigma out of range: {sigma}")
+        self.sigma = sigma
+        self._rng = make_rng(seed, "os-noise")
+
+    def perturb(self, cycles: float) -> float:
+        """One measured sample of a true cycle count."""
+        if cycles <= 0 or self.sigma == 0:
+            return cycles
+        factor = 1.0 + self._rng.normal(0.0, self.sigma)
+        # noise only ever *adds* work on a real machine; fold the gaussian
+        return cycles * max(1.0, factor)
+
+
+@dataclass(frozen=True)
+class MeasuredValue:
+    """Outcome of the five-run measurement protocol."""
+
+    mean: float
+    samples: tuple[float, ...]
+
+    @property
+    def spread(self) -> float:
+        """(max - min) / mean — what the paper bounds by 3%."""
+        if self.mean == 0:
+            return 0.0
+        return (max(self.samples) - min(self.samples)) / self.mean
+
+    @property
+    def within_paper_bound(self) -> bool:
+        return self.spread < PAPER_VARIATION_BOUND
+
+
+def measure(time_fn, *, runs: int = PAPER_RUNS,
+            noise: NoiseModel | None = None) -> MeasuredValue:
+    """Apply the paper's protocol: ``runs`` timed executions, averaged.
+
+    ``time_fn`` returns the true cycle count of one run (e.g.
+    ``lambda: sdv.time(trace).cycles``); ``noise`` perturbs each sample as
+    the emulated system's OS would.
+    """
+    if runs < 1:
+        raise ConfigError(f"runs must be >= 1, got {runs}")
+    noise = noise if noise is not None else NoiseModel()
+    samples = tuple(noise.perturb(float(time_fn())) for _ in range(runs))
+    return MeasuredValue(mean=float(np.mean(samples)), samples=samples)

@@ -1,0 +1,54 @@
+"""Timing results: cycle counts with a component breakdown."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import LINE_BYTES, fmt_cycles
+
+
+@dataclass
+class CycleReport:
+    """Outcome of timing one classified trace on one configuration.
+
+    ``cycles`` is the headline number (what the paper reads from the cycle
+    counter CSR). The breakdown attributes the critical path; components
+    overlap on the real machine so they do not sum to ``cycles``.
+    """
+
+    cycles: float
+    engine: str = ""
+    # component views (not additive):
+    scalar_issue_cycles: float = 0.0
+    scalar_stall_cycles: float = 0.0
+    vpu_arith_cycles: float = 0.0
+    vpu_mem_cycles: float = 0.0
+    bandwidth_bound_cycles: float = 0.0
+    # traffic:
+    dram_reads: int = 0
+    dram_writes: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def dram_transactions(self) -> int:
+        return self.dram_reads + self.dram_writes
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_transactions * LINE_BYTES
+
+    @property
+    def achieved_bytes_per_cycle(self) -> float:
+        return self.dram_bytes / self.cycles if self.cycles > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{fmt_cycles(self.cycles)} [{self.engine}] "
+            f"(issue {fmt_cycles(self.scalar_issue_cycles)}, "
+            f"stall {fmt_cycles(self.scalar_stall_cycles)}, "
+            f"vmem {fmt_cycles(self.vpu_mem_cycles)}, "
+            f"varith {fmt_cycles(self.vpu_arith_cycles)}, "
+            f"bw-bound {fmt_cycles(self.bandwidth_bound_cycles)}; "
+            f"DRAM {self.dram_transactions} txns, "
+            f"{self.achieved_bytes_per_cycle:.2f} B/cyc)"
+        )

@@ -1,0 +1,135 @@
+"""Vitruvius-like VPU cost model.
+
+Occupancy (execution-resource busy time) per vector instruction class, for
+``lanes`` parallel 64-bit lanes:
+
+* ARITH — fully pipelined: ``startup + ceil(vl/lanes)``;
+* ARITH_HEAVY — iterative FDIV/FSQRT: each lane-group takes ``HEAVY_CPE``
+  cycles (not pipelined across elements in a lane);
+* REDUCE — lane-local partial sums, then a ``log2(lanes)`` tree, then the
+  scalar drain;
+* PERMUTE — element traffic crosses the inter-lane ring twice;
+* MASK — operates on mask bits, 64 per cycle per lane-group.
+
+Memory instructions are characterized by three quantities the engines
+combine with queueing state:
+
+* ``addr_cycles`` — address-generation/issue occupancy,
+* ``first_latency`` — load-to-first-element latency (L2 or DRAM, as
+  classified),
+* ``service_cycles`` — line-streaming time at the issue/bandwidth rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SdvConfig
+from repro.trace.events import VMemPattern, VOpClass
+from repro.util.mathx import ceil_div
+
+#: cycles per element-group for non-pipelined FDIV/FSQRT
+HEAVY_CPE: int = 8
+
+#: extra cycles for the reduction tree + scalar drain beyond the element pass
+REDUCE_TREE_BASE: int = 4
+
+#: pipeline depth of the arithmetic lanes (chaining fill delay)
+LANE_PIPE_DEPTH: int = 4
+
+
+def arith_occupancy(config: SdvConfig, opclass: VOpClass, vl: int) -> float:
+    """*Issue occupancy* of one non-memory vector instruction.
+
+    This is how long the instruction keeps the execution pipe busy — the
+    throughput cost. Startup/drain is pipeline *latency* and is charged via
+    :func:`arith_latency` on the dependency path only: back-to-back
+    independent instructions stream through the lanes with no startup gap
+    (the pipe is, after all, a pipeline).
+    """
+    lanes = config.vpu.lanes
+    groups = ceil_div(max(vl, 1), lanes)
+    if opclass is VOpClass.ARITH:
+        return float(max(1, groups))
+    if opclass is VOpClass.ARITH_HEAVY:
+        return float(groups * HEAVY_CPE)
+    if opclass is VOpClass.REDUCE:
+        tree = int(np.ceil(np.log2(max(lanes, 2))))
+        return float(groups + tree + REDUCE_TREE_BASE)
+    if opclass is VOpClass.PERMUTE:
+        return float(2 * groups)
+    if opclass is VOpClass.MASK:
+        return float(max(1, ceil_div(max(vl, 1), lanes * 8)))
+    raise ValueError(f"not an occupancy class: {opclass}")
+
+
+def arith_latency(config: SdvConfig) -> float:
+    """Pipeline latency from issue to result visibility (dependency cost)."""
+    return float(config.vpu.startup_cycles + LANE_PIPE_DEPTH)
+
+
+@dataclass(frozen=True)
+class VMemCost:
+    """Resource view of one vector memory instruction."""
+
+    addr_cycles: float      # AGU/issue occupancy
+    first_latency: float    # load-to-first-response
+    service_cycles: float   # streaming time for all line requests
+    n_lines: int
+    n_dram: int             # DRAM transactions (reads + writebacks it caused)
+
+    @property
+    def completion_after_start(self) -> float:
+        """Cycles from issue to last element, ignoring queue interactions."""
+        return self.first_latency + max(self.addr_cycles, self.service_cycles)
+
+
+def vmem_cost(
+    config: SdvConfig,
+    *,
+    pattern: VMemPattern,
+    vl: int,
+    active: int,
+    n_lines: int,
+    dram_reads: int,
+    dram_writes: int,
+) -> VMemCost:
+    """Characterize one vector memory instruction under current knobs.
+
+    ``first_latency`` is the worst level the instruction touches — its last
+    element cannot arrive before one full round trip to that level.
+    ``service_cycles`` is the line-streaming time: lines issue at the AGU
+    rate, bounded by the L2HN's one-line-per-cycle port, and the DRAM
+    portion additionally streams through the Bandwidth Limiter window.
+    """
+    vpu = config.vpu
+    mem = config.mem
+
+    if pattern is VMemPattern.INDEXED:
+        addr_cycles = active / vpu.gather_issue_per_cycle
+    else:
+        addr_cycles = n_lines / vpu.stride_issue_per_cycle
+
+    l2_lines = n_lines - dram_reads if n_lines >= dram_reads else 0
+    # line return rate from L2 is 1/cycle; DRAM lines stream through the
+    # limiter at num/den requests per cycle (writebacks share the channel).
+    dram_txns = dram_reads + dram_writes
+    dram_stream = dram_txns * mem.bw_den / mem.bw_num
+    service = max(float(n_lines), l2_lines + dram_stream)
+
+    if dram_reads > 0:
+        first_latency = config.dram_latency
+    elif n_lines > 0:
+        first_latency = config.l2_hit_latency
+    else:
+        first_latency = 0.0
+
+    return VMemCost(
+        addr_cycles=addr_cycles,
+        first_latency=first_latency,
+        service_cycles=service,
+        n_lines=n_lines,
+        n_dram=dram_txns,
+    )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An SoC / engine / sweep configuration is invalid or inconsistent."""
+
+
+class MemoryError_(ReproError):
+    """A simulated-memory violation (OOB access, misalignment, exhaustion).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``MemoryError`` while staying recognizable at call sites.
+    """
+
+
+class AllocationError(MemoryError_):
+    """The simulated address space cannot satisfy an allocation request."""
+
+
+class AccessError(MemoryError_):
+    """A simulated load/store touches memory outside any allocation."""
+
+
+class IsaError(ReproError):
+    """Illegal use of the simulated RISC-V vector ISA (bad VL/SEW, masks...)."""
+
+
+class VectorLengthError(IsaError):
+    """A requested vector length is outside what the machine supports."""
+
+
+class TraceError(ReproError):
+    """The instruction/memory trace is malformed or used inconsistently."""
+
+
+class EngineError(ReproError):
+    """A timing engine was driven with inconsistent state."""
+
+
+class KernelError(ReproError):
+    """A kernel was given unusable input or produced an invalid result."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator/loader was given invalid parameters or data."""

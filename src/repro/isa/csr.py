@@ -1,0 +1,109 @@
+"""Control and status registers of the simulated core.
+
+The paper's key enabler is a *custom CSR holding the machine's maximum
+vector length* (Section 2.1): normally VLMAX is hard-wired, but the FPGA-SDV
+exposes it so experiments can lower it at runtime. ``CsrFile`` models that
+CSR plus the standard ``vl``/``vtype`` and the cycle counter used for
+measurements (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsaError, VectorLengthError
+from repro.util.mathx import is_pow2
+
+# CSR addresses (vl/vtype as in RVV 0.7.1; maxvl is the custom one; cycle is
+# the standard counter the paper reads for measurements).
+CSR_VL = 0xC20
+CSR_VTYPE = 0xC21
+CSR_MAXVL = 0x7C0  # custom, machine-level
+CSR_CYCLE = 0xC00
+
+
+class CsrFile:
+    """Minimal CSR file: vl, vtype(sew/lmul), the custom max-VL CSR, cycle."""
+
+    def __init__(self, hw_max_vl: int = 256) -> None:
+        if not is_pow2(hw_max_vl):
+            raise VectorLengthError(
+                f"hardware max VL must be a power of two, got {hw_max_vl}"
+            )
+        self._hw_max_vl = hw_max_vl   # silicon limit; the CSR can't exceed it
+        self._max_vl = hw_max_vl      # current programmed value
+        self._vl = 0
+        self._sew = 64
+        self._lmul = 1
+        self.cycle = 0
+
+    # -- max VL (the custom CSR) ----------------------------------------------
+
+    @property
+    def hw_max_vl(self) -> int:
+        return self._hw_max_vl
+
+    @property
+    def max_vl(self) -> int:
+        return self._max_vl
+
+    def write_max_vl(self, value: int) -> None:
+        """Lower (or restore) the machine's max VL at runtime."""
+        if not is_pow2(value):
+            raise VectorLengthError(f"max VL must be a power of two, got {value}")
+        if not 1 <= value <= self._hw_max_vl:
+            raise VectorLengthError(
+                f"max VL {value} outside [1, {self._hw_max_vl}]"
+            )
+        self._max_vl = value
+
+    # -- vl / vtype -------------------------------------------------------------
+
+    @property
+    def vl(self) -> int:
+        return self._vl
+
+    @property
+    def sew(self) -> int:
+        return self._sew
+
+    @property
+    def lmul(self) -> int:
+        return self._lmul
+
+    def vsetvl(self, avl: int, sew: int = 64, lmul: int = 1) -> int:
+        """RVV semantics: vl = min(avl, VLMAX); returns the granted vl.
+
+        ``lmul`` groups registers: VLMAX scales by the group size (one
+        instruction then streams through lmul register-lengths of
+        elements), the RVV lever for longer strips at constant register
+        width.
+        """
+        if sew not in (8, 16, 32, 64):
+            raise IsaError(f"unsupported SEW {sew}")
+        if lmul not in (1, 2, 4, 8):
+            raise IsaError(f"unsupported LMUL {lmul}")
+        if avl < 0:
+            raise IsaError(f"negative application vector length {avl}")
+        # VLMAX scales with 64/sew relative to the DP element count
+        vlmax = self._max_vl * (64 // sew) * lmul
+        self._sew = sew
+        self._lmul = lmul
+        self._vl = min(avl, vlmax)
+        return self._vl
+
+    def read(self, addr: int) -> int:
+        if addr == CSR_VL:
+            return self._vl
+        if addr == CSR_MAXVL:
+            return self._max_vl
+        if addr == CSR_CYCLE:
+            return self.cycle
+        if addr == CSR_VTYPE:
+            # low bits: sew; upper bits: lmul (packed for inspection)
+            return self._sew | (self._lmul << 16)
+        raise IsaError(f"unknown CSR {addr:#x}")
+
+    def write(self, addr: int, value: int) -> None:
+        if addr == CSR_MAXVL:
+            self.write_max_vl(value)
+            return
+        raise IsaError(f"CSR {addr:#x} is read-only or unknown")

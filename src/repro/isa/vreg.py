@@ -1,0 +1,90 @@
+"""Vector register and mask value objects.
+
+A :class:`VReg` is an immutable-by-convention wrapper around a NumPy array
+of the instruction's active elements; a :class:`VMask` wraps a boolean
+array. Ops validate element counts against the context's current ``vl`` so
+strip-mining bugs surface as :class:`repro.errors.IsaError` instead of
+silent broadcasting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IsaError
+
+_FLOAT = np.float64
+_INT = np.int64
+
+
+@dataclass(frozen=True)
+class VReg:
+    """Value of one vector register over the active elements [0, vl).
+
+    ``src`` is the trace-record index of the producing instruction (-1 for
+    values that did not come from a traced instruction); the timing engines
+    use it to honor read-after-write dependencies and model chaining.
+    """
+
+    data: np.ndarray
+    src: int = -1
+
+    def __post_init__(self) -> None:
+        d = self.data
+        if not isinstance(d, np.ndarray) or d.ndim != 1:
+            raise IsaError("VReg data must be a 1-D ndarray")
+        if d.dtype not in (_FLOAT, _INT, np.uint64):
+            raise IsaError(f"unsupported VReg dtype {d.dtype}")
+
+    @property
+    def vl(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def is_float(self) -> bool:
+        return self.data.dtype == _FLOAT
+
+    def astype_int(self) -> "VReg":
+        """Reinterpret-free conversion used by index arithmetic."""
+        return VReg(self.data.astype(_INT), self.src)
+
+    def astype_float(self) -> "VReg":
+        return VReg(self.data.astype(_FLOAT), self.src)
+
+    def __len__(self) -> int:
+        return self.vl
+
+    @staticmethod
+    def from_scalar(value: float | int, vl: int, *, float_: bool,
+                    src: int = -1) -> "VReg":
+        dtype = _FLOAT if float_ else _INT
+        return VReg(np.full(vl, value, dtype=dtype), src)
+
+
+@dataclass(frozen=True)
+class VMask:
+    """Value of a mask register over the active elements [0, vl).
+
+    ``src`` as in :class:`VReg`.
+    """
+
+    bits: np.ndarray
+    src: int = -1
+
+    def __post_init__(self) -> None:
+        b = self.bits
+        if not isinstance(b, np.ndarray) or b.ndim != 1 or b.dtype != bool:
+            raise IsaError("VMask bits must be a 1-D bool ndarray")
+
+    @property
+    def vl(self) -> int:
+        return int(self.bits.shape[0])
+
+    @property
+    def popcount(self) -> int:
+        return int(self.bits.sum())
+
+    def __len__(self) -> int:
+        return self.vl

@@ -1,0 +1,36 @@
+"""The four evaluated kernels (Section 3.1), scalar + vector each.
+
+* :mod:`spmv` — sparse matrix-vector product: scalar CSR vs. the
+  SELL-C-sigma long-vector formulation (the lineage of the paper's SpMV
+  reference [Gomez et al. 2020]);
+* :mod:`bfs` — level-synchronous breadth-first search with a vectorized
+  frontier expansion + levels-scan frontier rebuild;
+* :mod:`pagerank` — pull-style PageRank over the transpose adjacency,
+  vectorized like a pattern-only SELL SpMV;
+* :mod:`fft` — radix-2 Stockham FFT (autosorting, structure-of-arrays),
+  unit-stride in late stages and index-arithmetic gather/scatter in early
+  stages, following the long-vector FFT formulation of [Vizcaino et al.].
+
+Every kernel is exposed through a :class:`repro.kernels.base.KernelSpec`
+(workload preparation, scalar builder, vector builder, reference check) so
+the study harness can sweep them uniformly. ``KERNELS`` maps the paper's
+kernel names to their specs.
+"""
+
+from repro.kernels import micro
+from repro.kernels.base import KernelSpec, KernelOutput
+from repro.kernels.spmv import SPMV_SPEC
+from repro.kernels.bfs import BFS_SPEC
+from repro.kernels.pagerank import PAGERANK_SPEC
+from repro.kernels.fft import FFT_SPEC
+
+#: kernel name -> spec, in the paper's presentation order
+KERNELS: dict[str, KernelSpec] = {
+    "spmv": SPMV_SPEC,
+    "bfs": BFS_SPEC,
+    "pagerank": PAGERANK_SPEC,
+    "fft": FFT_SPEC,
+}
+
+__all__ = ["KernelSpec", "KernelOutput", "KERNELS", "micro",
+           "SPMV_SPEC", "BFS_SPEC", "PAGERANK_SPEC", "FFT_SPEC"]

@@ -1,0 +1,41 @@
+"""Breadth-first search kernel (level-synchronous, scalar + long-vector)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelOutput, KernelSpec
+from repro.kernels.bfs.reference import bfs_reference, default_source
+from repro.kernels.bfs.direction import bfs_vector_directopt
+from repro.kernels.bfs.scalar import bfs_scalar
+from repro.kernels.bfs.vector import bfs_vector
+from repro.workloads.graphs import rmat_graph
+from repro.workloads.scales import Scale
+
+
+def _prepare(scale: Scale, seed: int):
+    return rmat_graph(scale.graph_nodes, edge_factor=scale.graph_edge_factor,
+                      seed=seed)
+
+
+def _reference(g):
+    return bfs_reference(g)
+
+
+def _check(out: KernelOutput, ref) -> bool:
+    return bool(np.array_equal(out.value, ref))
+
+
+BFS_SPEC = KernelSpec(
+    name="bfs",
+    prepare=_prepare,
+    scalar=bfs_scalar,
+    vector=bfs_vector,
+    reference=_reference,
+    check=_check,
+    description="Level-synchronous BFS on an R-MAT graph "
+                "(scalar queue vs vectorized frontier expansion)",
+)
+
+__all__ = ["BFS_SPEC", "bfs_scalar", "bfs_vector", "bfs_vector_directopt",
+           "bfs_reference", "default_source"]

@@ -1,0 +1,60 @@
+"""Reference BFS (plain NumPy level-synchronous sweep).
+
+Used as ground truth for both implementations and, in tests, cross-checked
+against ``networkx.single_source_shortest_path_length``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.graphs import CsrGraph
+
+
+def default_source(g: CsrGraph) -> int:
+    """Deterministic non-isolated source: the max-out-degree node.
+
+    R-MAT graphs leave many low ids isolated; benchmarks (Graph500) always
+    search from a connected source.
+    """
+    return int(np.argmax(g.out_degrees))
+
+
+def bfs_reference(g: CsrGraph, source: int | None = None) -> np.ndarray:
+    """Levels array: levels[v] = hop distance from ``source``, -1 unreached."""
+    if source is None:
+        source = default_source(g)
+    levels = np.full(g.n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        # gather all out-neighbors of the frontier
+        starts = g.indptr[frontier]
+        ends = g.indptr[frontier + 1]
+        total = int((ends - starts).sum())
+        if total == 0:
+            break
+        nbrs = np.concatenate(
+            [g.indices[s:e] for s, e in zip(starts, ends)]
+        ) if frontier.size else np.empty(0, dtype=np.int64)
+        new = np.unique(nbrs[levels[nbrs] == -1])
+        levels[new] = level + 1
+        frontier = new
+        level += 1
+    return levels
+
+
+def frontier_schedule(g: CsrGraph, source: int | None = None
+                      ) -> list[np.ndarray]:
+    """Per-level frontiers (the traversal schedule both variants follow)."""
+    levels = bfs_reference(g, source)
+    out = []
+    lvl = 0
+    while True:
+        f = np.flatnonzero(levels == lvl).astype(np.int64)
+        if f.size == 0:
+            break
+        out.append(f)
+        lvl += 1
+    return out

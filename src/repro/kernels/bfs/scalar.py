@@ -1,0 +1,126 @@
+"""Scalar level-synchronous BFS.
+
+Textbook queue BFS::
+
+    levels[source] = 0; q = [source]
+    for level = 0, 1, ...:
+        next = []
+        for u in q:                      # load q[i], indptr[u], indptr[u+1]
+            for k in indptr[u]..indptr[u+1]:
+                v = indices[k]           # load
+                if levels[v] == -1:      # load (the random gather)
+                    levels[v] = level+1  # store
+                    next.append(v)       # store
+        q = next
+
+The functional traversal comes from the NumPy reference; the trace is the
+loop's access stream, assembled per level with vectorized position
+arithmetic (discovery edges contribute two extra stores).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelOutput
+from repro.kernels.bfs.reference import bfs_reference, default_source
+from repro.soc.sdv import Session
+from repro.workloads.graphs import CsrGraph
+
+ALU_PER_EDGE = 4
+ALU_PER_NODE = 5
+
+
+def bfs_scalar(session: Session, g: CsrGraph,
+               source: int | None = None) -> KernelOutput:
+    """Run scalar BFS on the SDV session; returns the levels array."""
+    if source is None:
+        source = default_source(g)
+    mem, scl = session.mem, session.scalar
+
+    a_indptr = mem.alloc("bfs.indptr", g.indptr)
+    a_indices = mem.alloc("bfs.indices", g.indices)
+    a_levels = mem.alloc("bfs.levels", np.full(g.n, -1, dtype=np.int64))
+    a_q0 = mem.alloc("bfs.q0", g.n, np.int64)
+    a_q1 = mem.alloc("bfs.q1", g.n, np.int64)
+
+    ref_levels = bfs_reference(g, source)
+    a_levels.view[source] = 0
+    a_q0.view[0] = source
+
+    q_cur, q_next = a_q0, a_q1
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    n_levels = 0
+    while frontier.size:
+        n_levels += 1
+        nf = frontier.shape[0]
+        starts = g.indptr[frontier]
+        degs = g.indptr[frontier + 1] - starts
+        n_edges = int(degs.sum())
+        if n_edges == 0:
+            break
+
+        nbrs = np.concatenate(
+            [g.indices[s: s + d] for s, d in zip(starts, degs)]
+        )
+        k_global = np.concatenate(
+            [np.arange(s, s + d) for s, d in zip(starts, degs)]
+        )
+        edge_node = np.repeat(np.arange(nf, dtype=np.int64), degs)
+
+        # discovery = first in-level occurrence of a next-level node
+        is_new_node = ref_levels[nbrs] == level + 1
+        _, first_idx = np.unique(nbrs, return_index=True)
+        disc = np.zeros(n_edges, dtype=bool)
+        disc[first_idx] = True
+        disc &= is_new_node
+        new_nodes = nbrs[disc]
+
+        # --- stream assembly ------------------------------------------
+        # per node: 3 header loads (q[i], indptr[u], indptr[u+1]);
+        # per edge: 2 loads (+ 2 stores when it discovers a node)
+        edge_w = 2 + 2 * disc.astype(np.int64)
+        node_w = np.bincount(edge_node, weights=edge_w, minlength=nf
+                             ).astype(np.int64)
+        node_base = 3 * np.arange(nf, dtype=np.int64)
+        node_base[1:] += np.cumsum(node_w)[:-1]
+        excl = np.cumsum(edge_w) - edge_w
+        node_first_excl = np.zeros(nf, dtype=np.int64)
+        first_edge_of_node = np.searchsorted(edge_node, np.arange(nf))
+        has_edges = degs > 0
+        node_first_excl[has_edges] = excl[first_edge_of_node[has_edges]]
+        edge_base = node_base[edge_node] + 3 + (excl - node_first_excl[edge_node])
+
+        stream_len = 3 * nf + int(edge_w.sum())
+        addrs = np.empty(stream_len, dtype=np.int64)
+        writes = np.zeros(stream_len, dtype=bool)
+
+        addrs[node_base] = q_cur.addr(np.arange(nf))
+        addrs[node_base + 1] = a_indptr.addr(frontier)
+        addrs[node_base + 2] = a_indptr.addr(frontier + 1)
+        addrs[edge_base] = a_indices.addr(k_global)
+        addrs[edge_base + 1] = a_levels.addr(nbrs)
+        de = edge_base[disc]
+        addrs[de + 2] = a_levels.addr(nbrs[disc])
+        writes[de + 2] = True
+        addrs[de + 3] = q_next.addr(np.arange(new_nodes.shape[0]))
+        writes[de + 3] = True
+
+        scl.emit_block(
+            addrs, writes,
+            n_alu_ops=ALU_PER_EDGE * n_edges + ALU_PER_NODE * nf,
+            label=f"bfs-scalar-l{level}",
+        )
+        # functional update: the next frontier is the queue in discovery order
+        a_levels.view[new_nodes] = level + 1
+        q_next.view[: new_nodes.shape[0]] = new_nodes
+        q_cur, q_next = q_next, q_cur
+        frontier = new_nodes
+        level += 1
+
+    scl.barrier("bfs-scalar-end")
+    return KernelOutput(
+        value=a_levels.view.copy(),
+        meta={"levels": n_levels, "n": g.n, "m": g.m},
+    )

@@ -1,0 +1,177 @@
+"""Vectorized level-synchronous BFS (long-vector frontier expansion).
+
+Per level, three phases (the structure of the graph-algorithms thesis the
+paper cites):
+
+1. **Degree bucketing** (scalar): the frontier is reordered into descending
+   degree-class buckets so that rows sharing a vector strip have similar
+   lengths — the SELL-sigma idea applied to frontiers; without it one hub
+   node would pad every lane of its strip to the hub's degree.
+2. **Expansion** (vector): for each strip of the bucketed frontier, gather
+   row bounds, then sweep edge slots ``j`` under the mask ``deg > j``:
+   gather neighbor ids, gather their levels, and scatter ``level+1`` to the
+   unvisited ones. The neighbor gather is software-pipelined one slot ahead
+   so the in-order memory pipe never waits for an index register.
+3. **Frontier rebuild** (vector): scan the levels array, ``vmseq`` against
+   ``level+1``, ``vcompress`` the node ids, ``vpopc`` + ``vse`` to append —
+   the canonical RVV stream-compaction idiom.
+
+Barriers separate phases (scatters must drain before dependent gathers; the
+machine has no inter-instruction memory disambiguation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelOutput
+from repro.kernels.bfs.reference import default_source
+from repro.soc.sdv import Session
+from repro.workloads.graphs import CsrGraph
+
+#: scalar ops per frontier node during bucketing (load, classify, store)
+ALU_PER_BUCKETED_NODE = 6
+ALU_PER_STRIP = 6
+ALU_PER_SLOT = 2
+
+
+def _bucket_by_degree(frontier: np.ndarray, degs: np.ndarray) -> np.ndarray:
+    """Stable reorder into descending log2-degree buckets."""
+    klass = np.zeros(frontier.shape[0], dtype=np.int64)
+    nz = degs > 0
+    klass[nz] = np.int64(np.floor(np.log2(degs[nz]))) + 1
+    order = np.argsort(-klass, kind="stable")
+    return frontier[order]
+
+
+def bfs_vector(session: Session, g: CsrGraph,
+               source: int | None = None) -> KernelOutput:
+    """Run vectorized BFS on the SDV session; returns the levels array."""
+    if source is None:
+        source = default_source(g)
+    mem, scl, vec = session.mem, session.scalar, session.vector
+
+    a_indptr = mem.alloc("bfs.indptr", g.indptr)
+    a_indices = mem.alloc("bfs.indices", g.indices)
+    a_levels = mem.alloc("bfs.levels", np.full(g.n, -1, dtype=np.int64))
+    a_q0 = mem.alloc("bfs.q0", g.n, np.int64)
+    a_q1 = mem.alloc("bfs.q1", g.n, np.int64)
+
+    a_levels.view[source] = 0
+    a_q0.view[0] = source
+    q_cur, q_next = a_q0, a_q1
+
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    n_levels = 0
+    while frontier.size:
+        n_levels += 1
+        nf = frontier.shape[0]
+        degs = (g.indptr[frontier + 1] - g.indptr[frontier]).astype(np.int64)
+
+        # --- phase 1: scalar degree bucketing --------------------------
+        bucketed = _bucket_by_degree(frontier, degs)
+        bucketed_degs = (g.indptr[bucketed + 1] - g.indptr[bucketed]
+                         ).astype(np.int64)
+        idx = np.arange(nf)
+        addrs = np.empty(4 * nf, dtype=np.int64)
+        writes = np.zeros(4 * nf, dtype=bool)
+        addrs[0::4] = q_cur.addr(idx)
+        addrs[1::4] = a_indptr.addr(frontier)
+        addrs[2::4] = a_indptr.addr(frontier + 1)
+        addrs[3::4] = q_cur.addr(idx)  # write back in bucket order
+        writes[3::4] = True
+        scl.emit_block(addrs, writes,
+                       n_alu_ops=ALU_PER_BUCKETED_NODE * nf,
+                       label=f"bfs-bucket-l{level}")
+        q_cur.view[:nf] = bucketed
+        scl.barrier(f"bfs-bucket-end-l{level}")
+
+        # --- phase 2: vector expansion ----------------------------------
+        off = 0
+        while off < nf:
+            vl = vec.vsetvl(nf - off)
+            scl.emit_alu(ALU_PER_STRIP, label="bfs-strip")
+            f = vec.vle(q_cur, off)
+            rb = vec.vlxe(a_indptr, f)
+            f1 = vec.vadd(f, 1)
+            re = vec.vlxe(a_indptr, f1)
+            ln = vec.vsub(re, rb)
+            # The strip's slot count is known scalar-side from the bucketing
+            # pass (it classified every degree already), so no vredmax sync
+            # is needed here.
+            maxd = int(bucketed_degs[off: off + vl].max(initial=0))
+            lvlval = vec.vmv(level + 1)
+
+            nbr_next = None
+            if maxd > 0:
+                m0 = vec.vmsgt(ln, 0)
+                nbr_next = vec.vlxe(a_indices, rb, mask=m0)
+            for j in range(maxd):
+                scl.emit_alu(ALU_PER_SLOT)
+                m = vec.vmsgt(ln, j)
+                nbr = nbr_next
+                if j + 1 < maxd:
+                    m_next = vec.vmsgt(ln, j + 1)
+                    eidx_next = vec.vadd(rb, j + 1)
+                    nbr_next = vec.vlxe(a_indices, eidx_next, mask=m_next)
+                cur = vec.vlxe(a_levels, nbr, mask=m)
+                unv = vec.vmseq(cur, -1)
+                mm = vec.vmand(m, unv)
+                vec.vsxe(lvlval, a_levels, nbr, mask=mm)
+            off += vl
+        scl.barrier(f"bfs-expand-end-l{level}")
+
+        # --- phase 3: vector frontier rebuild ---------------------------
+        # Software-pipelined: strip k+1's levels load issues before strip
+        # k's vpopc synchronizes the scalar core, so the scan streams at
+        # memory speed instead of one round trip per strip. Full strips run
+        # at max VL; the tail strip is handled after the loop.
+        next_pos = 0
+        maxvl = vec.max_vl
+        n_full = (g.n // maxvl) * maxvl
+
+        def _scan_strip(lv, off_):
+            m = vec.vmseq(lv, level + 1)
+            ids = vec.vadd(vec.vid(), off_)
+            packed = vec.vcompress(ids, m)
+            return m, packed
+
+        off = 0
+        if n_full:
+            vec.vsetvl(maxvl)
+            lv_next = vec.vle(a_levels, 0)
+            while off < n_full:
+                scl.emit_alu(3, label="bfs-scan")
+                lv = lv_next
+                m, packed = _scan_strip(lv, off)
+                if off + maxvl < n_full:
+                    lv_next = vec.vle(a_levels, off + maxvl)
+                cnt = vec.vpopc(m)
+                if cnt:
+                    vec.vsetvl(cnt)
+                    vec.vse(vec.with_vl(packed), q_next, next_pos)
+                    next_pos += cnt
+                    vec.vsetvl(maxvl)
+                off += maxvl
+        if off < g.n:
+            vec.vsetvl(g.n - off)
+            scl.emit_alu(3, label="bfs-scan-tail")
+            lv = vec.vle(a_levels, off)
+            m, packed = _scan_strip(lv, off)
+            cnt = vec.vpopc(m)
+            if cnt:
+                vec.vsetvl(cnt)
+                vec.vse(vec.with_vl(packed), q_next, next_pos)
+                next_pos += cnt
+        scl.barrier(f"bfs-scan-end-l{level}")
+
+        frontier = q_next.view[:next_pos].copy()
+        q_cur, q_next = q_next, q_cur
+        level += 1
+
+    levels = a_levels.view.copy()
+    return KernelOutput(
+        value=levels,
+        meta={"levels": n_levels, "n": g.n, "m": g.m},
+    )

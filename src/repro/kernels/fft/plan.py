@@ -1,0 +1,81 @@
+"""FFT plan: stage geometry and twiddle tables for the Stockham radix-2
+transform.
+
+The Stockham autosort formulation is the long-vector FFT of choice (the
+paper's FFT reference targets NEC SX-Aurora and RVV with it): no bit-reversal
+pass, and every stage reads two contiguous half-arrays. At stage ``s`` with
+``l = n/2^{s+1}`` twiddle groups of run length ``m = 2^s``::
+
+    for j in 0..l-1:                       # twiddle index
+        w = exp(-2*pi*i * j / (2l))
+        for k in 0..m-1:                   # contiguous run
+            a = x[j*m + k]; b = x[j*m + l*m + k]
+            y[2*j*m + k]     = a + b
+            y[2*j*m + m + k] = (a - b) * w
+
+When ``m >= VL`` the inner run is vectorized directly (twiddle is a scalar).
+When ``m < VL``, ``VL/m`` consecutive ``j`` groups are batched into one
+strip: loads stay unit-stride (the (j,k) block is contiguous!), twiddles are
+gathered per lane from the stage table, and the interleaved stores become an
+index-arithmetic scatter computed in vector registers — exactly the
+"complex memory access pattern" the paper highlights for FFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.util.mathx import is_pow2, log2_int
+
+
+@dataclass(frozen=True)
+class FftStage:
+    """Geometry of one Stockham stage."""
+
+    index: int
+    l: int           # number of twiddle groups
+    m: int           # contiguous run length per group
+    log2_m: int
+
+    @property
+    def half_offset(self) -> int:
+        """Element distance between the a and b input halves (l*m = n/2)."""
+        return self.l * self.m
+
+
+@dataclass(frozen=True)
+class FftPlan:
+    """All stages plus per-stage twiddle tables (host-precomputed)."""
+
+    n: int
+    stages: tuple[FftStage, ...]
+    twiddle_re: tuple[np.ndarray, ...]   # stage -> float64[l]
+    twiddle_im: tuple[np.ndarray, ...]
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+
+def make_plan(n: int) -> FftPlan:
+    """Build the Stockham plan for a power-of-two ``n``."""
+    if not is_pow2(n) or n < 2:
+        raise KernelError(f"FFT size must be a power of two >= 2, got {n}")
+    t = log2_int(n)
+    stages = []
+    tw_re = []
+    tw_im = []
+    l, m = n // 2, 1
+    for s in range(t):
+        stages.append(FftStage(index=s, l=l, m=m, log2_m=log2_int(m)))
+        j = np.arange(l, dtype=np.float64)
+        w = np.exp(-2j * np.pi * j / (2 * l))
+        tw_re.append(np.ascontiguousarray(w.real))
+        tw_im.append(np.ascontiguousarray(w.imag))
+        l //= 2
+        m *= 2
+    return FftPlan(n=n, stages=tuple(stages), twiddle_re=tuple(tw_re),
+                   twiddle_im=tuple(tw_im))

@@ -1,0 +1,101 @@
+"""Scalar Stockham FFT.
+
+Same stage geometry as the vector variant (apples-to-apples). Per butterfly:
+4 loads (a.re, a.im, b.re, b.im), ~10 FP/int ops, 4 stores; the per-group
+twiddle pair is loaded once per group. Address streams are assembled with
+NumPy per stage.
+
+Consecutive butterflies within a run are independent, so ``mlp_hint`` stays
+unbounded — but FFT's strided store pattern defeats much of the L1's
+spatial locality in early stages, which is what makes it latency-sensitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelOutput
+from repro.kernels.fft.plan import make_plan
+from repro.soc.sdv import Session
+
+ALU_PER_BUTTERFLY = 10
+ALU_PER_GROUP = 4
+
+
+def fft_scalar(session: Session, signal: tuple[np.ndarray, np.ndarray]
+               ) -> KernelOutput:
+    """Run the scalar Stockham FFT; returns the complex spectrum."""
+    re_in, im_in = signal
+    n = re_in.shape[0]
+    plan = make_plan(n)
+    mem, scl = session.mem, session.scalar
+
+    a_xre = mem.alloc("fft.x_re", np.asarray(re_in, dtype=np.float64))
+    a_xim = mem.alloc("fft.x_im", np.asarray(im_in, dtype=np.float64))
+    a_yre = mem.alloc("fft.y_re", n, np.float64)
+    a_yim = mem.alloc("fft.y_im", n, np.float64)
+    tw_re = [mem.alloc(f"fft.tw_re{s}", t) for s, t in enumerate(plan.twiddle_re)]
+    tw_im = [mem.alloc(f"fft.tw_im{s}", t) for s, t in enumerate(plan.twiddle_im)]
+
+    cur = (a_xre, a_xim)
+    nxt = (a_yre, a_yim)
+    for st in plan.stages:
+        l, m = st.l, st.m
+        j = np.repeat(np.arange(l, dtype=np.int64), m)
+        k = np.tile(np.arange(m, dtype=np.int64), l)
+        src_a = j * m + k
+        src_b = src_a + st.half_offset
+        dst0 = 2 * j * m + k
+        dst1 = dst0 + m
+
+        xre, xim = cur
+        yre, yim = nxt
+        # stream per butterfly: [a.re, a.im, b.re, b.im, y0.re, y0.im,
+        #                        y1.re, y1.im]; one [w.re, w.im] per group
+        nb = n // 2
+        per_bf = 8
+        bf_addrs = np.stack([
+            xre.addr(src_a), xim.addr(src_a),
+            xre.addr(src_b), xim.addr(src_b),
+            yre.addr(dst0), yim.addr(dst0),
+            yre.addr(dst1), yim.addr(dst1),
+        ], axis=1)
+        bf_writes = np.zeros((nb, per_bf), dtype=bool)
+        bf_writes[:, 4:] = True
+
+        # inject the twiddle loads at each group boundary
+        grp_pos = np.arange(l, dtype=np.int64) * (m * per_bf + 2)
+        stream_len = nb * per_bf + 2 * l
+        addrs = np.empty(stream_len, dtype=np.int64)
+        writes = np.zeros(stream_len, dtype=bool)
+        addrs[grp_pos] = tw_re[st.index].addr(np.arange(l))
+        addrs[grp_pos + 1] = tw_im[st.index].addr(np.arange(l))
+        bf_base = (grp_pos[j] + 2
+                   + per_bf * (np.arange(nb, dtype=np.int64) - j * m))
+        for col in range(per_bf):
+            addrs[bf_base + col] = bf_addrs[:, col]
+            writes[bf_base + col] = bf_writes[:, col]
+
+        scl.emit_block(addrs, writes,
+                       ALU_PER_BUTTERFLY * nb + ALU_PER_GROUP * l,
+                       label=f"fft-scalar-s{st.index}")
+        scl.barrier(f"fft-stage-{st.index}")
+
+        # functional stage (the loop's semantics, vectorized)
+        a_r = xre.view[src_a]
+        a_i = xim.view[src_a]
+        b_r = xre.view[src_b]
+        b_i = xim.view[src_b]
+        w_r = plan.twiddle_re[st.index][j]
+        w_i = plan.twiddle_im[st.index][j]
+        yre.view[dst0] = a_r + b_r
+        yim.view[dst0] = a_i + b_i
+        tr = a_r - b_r
+        ti = a_i - b_i
+        yre.view[dst1] = tr * w_r - ti * w_i
+        yim.view[dst1] = tr * w_i + ti * w_r
+        cur, nxt = nxt, cur
+
+    out = cur[0].view + 1j * cur[1].view
+    return KernelOutput(value=out.copy(), meta={"n": n,
+                                                "stages": plan.n_stages})

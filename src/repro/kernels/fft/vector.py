@@ -1,0 +1,124 @@
+"""Vectorized Stockham FFT (long-vector formulation).
+
+Late stages (``m >= VL``) vectorize the contiguous butterfly runs directly:
+unit-stride loads/stores and a *scalar* twiddle per group (``.vf`` operand
+forms). Early stages (``m < VL``) batch ``VL/m`` twiddle groups into one
+strip: the input block stays unit-stride (a (j,k) block of the Stockham
+layout is contiguous), the per-lane twiddles are gathered from the stage
+table, and the interleaved outputs become an index-arithmetic scatter whose
+positions are computed *in vector registers* (vid/vsrl/vand/vsll/vadd) —
+the gather/scatter-heavy access pattern the paper calls out as FFT's
+challenge for vector architectures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelOutput
+from repro.kernels.fft.plan import make_plan
+from repro.soc.sdv import Session
+
+ALU_PER_STRIP = 4
+ALU_PER_GROUP = 3
+
+
+def fft_vector(session: Session, signal: tuple[np.ndarray, np.ndarray]
+               ) -> KernelOutput:
+    """Run the vectorized Stockham FFT; returns the complex spectrum."""
+    re_in, im_in = signal
+    n = re_in.shape[0]
+    plan = make_plan(n)
+    mem, scl, vec = session.mem, session.scalar, session.vector
+
+    a_xre = mem.alloc("fft.x_re", np.asarray(re_in, dtype=np.float64))
+    a_xim = mem.alloc("fft.x_im", np.asarray(im_in, dtype=np.float64))
+    a_yre = mem.alloc("fft.y_re", n, np.float64)
+    a_yim = mem.alloc("fft.y_im", n, np.float64)
+    tw_re = [mem.alloc(f"fft.tw_re{s}", t) for s, t in enumerate(plan.twiddle_re)]
+    tw_im = [mem.alloc(f"fft.tw_im{s}", t) for s, t in enumerate(plan.twiddle_im)]
+
+    cur = (a_xre, a_xim)
+    nxt = (a_yre, a_yim)
+    maxvl = vec.max_vl
+
+    for st in plan.stages:
+        l, m, lm = st.l, st.m, st.half_offset
+        xre, xim = cur
+        yre, yim = nxt
+        a_twr, a_twi = tw_re[st.index], tw_im[st.index]
+
+        if m >= maxvl:
+            # ---- late stages: unit stride, scalar twiddle per group ------
+            for j in range(l):
+                wr = scl.load_f64(a_twr, j)
+                wi = scl.load_f64(a_twi, j)
+                scl.alu(ALU_PER_GROUP)
+                scl.flush(label=f"fft-twiddle-s{st.index}")
+                base = j * m
+                out0 = 2 * j * m
+                k = 0
+                while k < m:
+                    vl = vec.vsetvl(m - k)
+                    scl.emit_alu(ALU_PER_STRIP, label="fft-strip")
+                    ar = vec.vle(xre, base + k)
+                    ai = vec.vle(xim, base + k)
+                    br = vec.vle(xre, base + lm + k)
+                    bi = vec.vle(xim, base + lm + k)
+                    y0r = vec.vfadd(ar, br)
+                    y0i = vec.vfadd(ai, bi)
+                    tr = vec.vfsub(ar, br)
+                    ti = vec.vfsub(ai, bi)
+                    y1r = vec.vfmul(tr, wr)
+                    y1r = vec.vfmacc(y1r, ti, -wi)
+                    y1i = vec.vfmul(tr, wi)
+                    y1i = vec.vfmacc(y1i, ti, wr)
+                    vec.vse(y0r, yre, out0 + k)
+                    vec.vse(y0i, yim, out0 + k)
+                    vec.vse(y1r, yre, out0 + m + k)
+                    vec.vse(y1i, yim, out0 + m + k)
+                    k += vl
+        else:
+            # ---- early stages: batch VL/m groups, gather twiddles,
+            # ---- index-arithmetic scatter --------------------------------
+            groups_per_strip = maxvl // m
+            log2m = st.log2_m
+            j0 = 0
+            while j0 < l:
+                gcount = min(groups_per_strip, l - j0)
+                vec.vsetvl(gcount * m)
+                scl.emit_alu(ALU_PER_STRIP, label="fft-strip-batched")
+                base = j0 * m
+                ar = vec.vle(xre, base)
+                ai = vec.vle(xim, base)
+                br = vec.vle(xre, base + lm)
+                bi = vec.vle(xim, base + lm)
+                idx = vec.vid()
+                jvec = vec.vadd(vec.vsrl(idx, log2m), j0)
+                wr = vec.vlxe(a_twr, jvec)
+                wi = vec.vlxe(a_twi, jvec)
+                y0r = vec.vfadd(ar, br)
+                y0i = vec.vfadd(ai, bi)
+                tr = vec.vfsub(ar, br)
+                ti = vec.vfsub(ai, bi)
+                y1r = vec.vfmul(tr, wr)
+                negwi = vec.vfneg(wi)
+                y1r = vec.vfmacc(y1r, ti, negwi)
+                y1i = vec.vfmul(tr, wi)
+                y1i = vec.vfmacc(y1i, ti, wr)
+                kpart = vec.vand(idx, m - 1)
+                pos0 = vec.vadd(vec.vsll(jvec, log2m + 1), kpart)
+                pos1 = vec.vadd(pos0, m)
+                vec.vsxe(y0r, yre, pos0)
+                vec.vsxe(y0i, yim, pos0)
+                vec.vsxe(y1r, yre, pos1)
+                vec.vsxe(y1i, yim, pos1)
+                j0 += gcount
+
+        scl.barrier(f"fft-stage-{st.index}")
+        cur, nxt = nxt, cur
+
+    out = cur[0].view + 1j * cur[1].view
+    return KernelOutput(value=out.copy(), meta={"n": n,
+                                                "stages": plan.n_stages,
+                                                "maxvl": maxvl})

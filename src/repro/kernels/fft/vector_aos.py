@@ -1,0 +1,120 @@
+"""Vectorized Stockham FFT over *interleaved* complex data (AoS layout).
+
+The main vector FFT uses a structure-of-arrays layout (separate re/im
+buffers). Real signal-processing pipelines often hand the FFT interleaved
+``re,im,re,im,...`` buffers (the C ``double complex`` layout); RVV's
+segment loads/stores (``vlseg2e``/``vsseg2e``) de-interleave such records
+in one instruction, so the kernel body stays identical to the SoA one.
+
+Included as an extension study: the ablation bench compares SoA vs AoS to
+quantify what the segment unit buys over the two-pass alternative
+(strided loads would halve effective bandwidth; an explicit transpose
+would double the traffic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelOutput
+from repro.kernels.fft.plan import make_plan
+from repro.soc.sdv import Session
+
+ALU_PER_STRIP = 4
+ALU_PER_GROUP = 3
+
+
+def fft_vector_aos(session: Session, signal: tuple[np.ndarray, np.ndarray]
+                   ) -> KernelOutput:
+    """Stockham FFT with interleaved complex buffers via segment accesses."""
+    re_in, im_in = signal
+    n = re_in.shape[0]
+    plan = make_plan(n)
+    mem, scl, vec = session.mem, session.scalar, session.vector
+
+    inter = np.empty(2 * n)
+    inter[0::2] = np.asarray(re_in, dtype=np.float64)
+    inter[1::2] = np.asarray(im_in, dtype=np.float64)
+    a_x = mem.alloc("fft.x_aos", inter)
+    a_y = mem.alloc("fft.y_aos", 2 * n, np.float64)
+    tw_re = [mem.alloc(f"fft.tw_re{s}", t) for s, t in enumerate(plan.twiddle_re)]
+    tw_im = [mem.alloc(f"fft.tw_im{s}", t) for s, t in enumerate(plan.twiddle_im)]
+
+    cur, nxt = a_x, a_y
+    maxvl = vec.max_vl
+
+    for st in plan.stages:
+        l, m, lm = st.l, st.m, st.half_offset
+        a_twr, a_twi = tw_re[st.index], tw_im[st.index]
+
+        if m >= maxvl:
+            # late stages: segment loads replace the two unit loads per half
+            for j in range(l):
+                wr = scl.load_f64(a_twr, j)
+                wi = scl.load_f64(a_twi, j)
+                scl.alu(ALU_PER_GROUP)
+                scl.flush(label=f"fft-aos-twiddle-s{st.index}")
+                base = j * m
+                out0 = 2 * j * m
+                k = 0
+                while k < m:
+                    vl = vec.vsetvl(m - k)
+                    scl.emit_alu(ALU_PER_STRIP, label="fft-aos-strip")
+                    ar, ai = vec.vlseg(cur, 2, offset=base + k)
+                    br, bi = vec.vlseg(cur, 2, offset=base + lm + k)
+                    y0r = vec.vfadd(ar, br)
+                    y0i = vec.vfadd(ai, bi)
+                    tr = vec.vfsub(ar, br)
+                    ti = vec.vfsub(ai, bi)
+                    y1r = vec.vfmul(tr, wr)
+                    y1r = vec.vfmacc(y1r, ti, -wi)
+                    y1i = vec.vfmul(tr, wi)
+                    y1i = vec.vfmacc(y1i, ti, wr)
+                    vec.vsseg([y0r, y0i], nxt, offset=out0 + k)
+                    vec.vsseg([y1r, y1i], nxt, offset=out0 + m + k)
+                    k += vl
+        else:
+            # early stages: the (j,k) block is contiguous in *records*, so
+            # segment loads still apply; outputs scatter via interleaved
+            # element positions (2*pos for re, 2*pos+1 for im)
+            groups_per_strip = maxvl // m
+            log2m = st.log2_m
+            j0 = 0
+            while j0 < l:
+                gcount = min(groups_per_strip, l - j0)
+                vec.vsetvl(gcount * m)
+                scl.emit_alu(ALU_PER_STRIP, label="fft-aos-strip-batched")
+                base = j0 * m
+                ar, ai = vec.vlseg(cur, 2, offset=base)
+                br, bi = vec.vlseg(cur, 2, offset=base + lm)
+                idx = vec.vid()
+                jvec = vec.vadd(vec.vsrl(idx, log2m), j0)
+                wr = vec.vlxe(a_twr, jvec)
+                wi = vec.vlxe(a_twi, jvec)
+                y0r = vec.vfadd(ar, br)
+                y0i = vec.vfadd(ai, bi)
+                tr = vec.vfsub(ar, br)
+                ti = vec.vfsub(ai, bi)
+                y1r = vec.vfmul(tr, wr)
+                negwi = vec.vfneg(wi)
+                y1r = vec.vfmacc(y1r, ti, negwi)
+                y1i = vec.vfmul(tr, wi)
+                y1i = vec.vfmacc(y1i, ti, wr)
+                kpart = vec.vand(idx, m - 1)
+                pos0 = vec.vadd(vec.vsll(jvec, log2m + 1), kpart)
+                pos0r = vec.vsll(pos0, 1)            # interleaved re slot
+                pos0i = vec.vadd(pos0r, 1)
+                pos1r = vec.vadd(pos0r, 2 * m)
+                pos1i = vec.vadd(pos1r, 1)
+                vec.vsxe(y0r, nxt, pos0r)
+                vec.vsxe(y0i, nxt, pos0i)
+                vec.vsxe(y1r, nxt, pos1r)
+                vec.vsxe(y1i, nxt, pos1i)
+                j0 += gcount
+
+        scl.barrier(f"fft-aos-stage-{st.index}")
+        cur, nxt = nxt, cur
+
+    out = cur.view[0::2] + 1j * cur.view[1::2]
+    return KernelOutput(value=out.copy(), meta={"n": n, "layout": "aos",
+                                                "stages": plan.n_stages})

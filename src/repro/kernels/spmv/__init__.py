@@ -1,0 +1,48 @@
+"""Sparse matrix-vector multiplication (SpMV) kernel.
+
+Scalar CSR vs. vectorized SELL-C-sigma; input defaults to a cage10-like
+matrix (the paper's Section 3.1 input).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelOutput, KernelSpec
+from repro.kernels.spmv.formats import SellMatrix, build_sell, sell_to_dense
+from repro.kernels.spmv.scalar import spmv_scalar
+from repro.kernels.spmv.vector import spmv_vector
+from repro.kernels.spmv.vector_csr import spmv_vector_csr
+from repro.workloads.cage import cage10_like, scaled_cage_like
+from repro.workloads.scales import Scale
+
+
+def _prepare(scale: Scale, seed: int):
+    if scale.spmv_n is None:
+        return cage10_like(seed=seed)
+    return scaled_cage_like(scale.spmv_n, seed=seed)
+
+
+def _reference(mat):
+    n = mat.shape[0]
+    x = np.linspace(0.5, 1.5, n)
+    return mat @ x
+
+
+def _check(out: KernelOutput, ref) -> bool:
+    return bool(np.allclose(out.value, ref, rtol=1e-10, atol=1e-12))
+
+
+SPMV_SPEC = KernelSpec(
+    name="spmv",
+    prepare=_prepare,
+    scalar=spmv_scalar,
+    vector=spmv_vector,
+    reference=_reference,
+    check=_check,
+    description="Sparse matrix-vector product, cage10-like input "
+                "(scalar CSR vs SELL-C-sigma long-vector)",
+)
+
+__all__ = ["SPMV_SPEC", "spmv_scalar", "spmv_vector", "spmv_vector_csr",
+           "SellMatrix", "build_sell", "sell_to_dense"]

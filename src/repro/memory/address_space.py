@@ -1,0 +1,178 @@
+"""Flat byte-addressable memory image with a bump allocator.
+
+Kernels allocate NumPy arrays *inside* the simulated physical address space.
+Functional execution then works on zero-copy views of one backing buffer
+while the recorded addresses are real simulated physical addresses — exactly
+what the cache/NoC/DRAM models need.
+
+Design notes
+------------
+* The backing store is a single ``np.uint8`` buffer; ``alloc`` returns an
+  :class:`Allocation` whose ``.view`` is a dtype-reinterpreted slice of it.
+  Views, not copies (see the scientific-python optimization guide): kernel
+  reads/writes go straight to the image.
+* Allocations are line-aligned (64 B) by default so the first element of an
+  array never straddles a cache line, matching how the paper's benchmarks
+  allocate with ``posix_memalign``.
+* A bump pointer is enough — experiments build a workload once and run it;
+  there is no free list. ``reset`` recycles the whole image between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AccessError, AllocationError
+from repro.util.units import LINE_BYTES, fmt_bytes
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One array placed in the simulated address space."""
+
+    name: str
+    base: int
+    nbytes: int
+    itemsize: int
+    view: np.ndarray
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the allocation."""
+        return self.base + self.nbytes
+
+    def addr(self, index: int | np.ndarray) -> int | np.ndarray:
+        """Simulated address of element ``index`` (scalar or vectorized).
+
+        Bounds are checked against the allocation so a buggy kernel fails
+        loudly instead of recording addresses into a neighbouring array.
+        """
+        idx = np.asarray(index)
+        nelem = self.nbytes // self.itemsize
+        if idx.size and (idx.min() < 0 or idx.max() >= nelem):
+            raise AccessError(
+                f"index out of range for '{self.name}' "
+                f"(0..{nelem - 1}): min={idx.min()}, max={idx.max()}"
+            )
+        out = self.base + idx * self.itemsize
+        if np.isscalar(index) or idx.ndim == 0:
+            return int(out)
+        return out.astype(np.int64)
+
+
+class MemoryImage:
+    """Simulated physical memory: backing buffer + bump allocator."""
+
+    def __init__(self, size_bytes: int, *, base_address: int = 0x1000) -> None:
+        if size_bytes <= 0:
+            raise AllocationError(f"memory size must be positive, got {size_bytes}")
+        self.size_bytes = int(size_bytes)
+        self.base_address = int(base_address)
+        self._buf = np.zeros(self.size_bytes, dtype=np.uint8)
+        self._cursor = 0
+        self._allocs: dict[str, Allocation] = {}
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(
+        self,
+        name: str,
+        shape_or_data: int | tuple[int, ...] | np.ndarray,
+        dtype: np.dtype | type | None = None,
+        *,
+        align: int = LINE_BYTES,
+    ) -> Allocation:
+        """Allocate an array in the image, optionally initializing it.
+
+        ``shape_or_data`` may be a shape (then ``dtype`` is required) or an
+        existing ndarray whose contents are copied in.
+        """
+        if name in self._allocs:
+            raise AllocationError(f"allocation name '{name}' already in use")
+        if align <= 0 or (align & (align - 1)):
+            raise AllocationError(f"alignment must be a power of two, got {align}")
+
+        if isinstance(shape_or_data, np.ndarray):
+            data = np.ascontiguousarray(shape_or_data)
+            shape = data.shape
+            dt = data.dtype
+        else:
+            if dtype is None:
+                raise AllocationError("dtype required when allocating by shape")
+            data = None
+            shape = (
+                (int(shape_or_data),)
+                if isinstance(shape_or_data, (int, np.integer))
+                else tuple(int(s) for s in shape_or_data)
+            )
+            dt = np.dtype(dtype)
+
+        nbytes = int(np.prod(shape)) * dt.itemsize
+        start = -(-self._cursor // align) * align  # round up
+        if start + nbytes > self.size_bytes:
+            raise AllocationError(
+                f"out of simulated memory allocating '{name}' "
+                f"({fmt_bytes(nbytes)}; {fmt_bytes(self.size_bytes - self._cursor)}"
+                " remaining)"
+            )
+        self._cursor = start + nbytes
+
+        view = self._buf[start : start + nbytes].view(dt).reshape(shape)
+        if data is not None:
+            view[...] = data
+        alloc =Allocation(
+            name=name,
+            base=self.base_address + start,
+            nbytes=nbytes,
+            itemsize=dt.itemsize,
+            view=view,
+        )
+        self._allocs[name] = alloc
+        return alloc
+
+    def reset(self) -> None:
+        """Drop all allocations and zero the image (reuse between runs)."""
+        self._buf[:] = 0
+        self._cursor = 0
+        self._allocs.clear()
+
+    # -- inspection ---------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._allocs
+
+    def __getitem__(self, name: str) -> Allocation:
+        try:
+            return self._allocs[name]
+        except KeyError:
+            raise AccessError(f"no allocation named '{name}'") from None
+
+    @property
+    def allocations(self) -> tuple[Allocation, ...]:
+        return tuple(self._allocs.values())
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor
+
+    def owner_of(self, addr: int) -> Allocation | None:
+        """Allocation containing simulated address ``addr``, if any."""
+        for alloc in self._allocs.values():
+            if alloc.base <= addr < alloc.end:
+                return alloc
+        return None
+
+    def check_addresses(self, addrs: np.ndarray) -> None:
+        """Validate a batch of simulated addresses against the image bounds."""
+        a = np.asarray(addrs)
+        if a.size == 0:
+            return
+        lo, hi = int(a.min()), int(a.max())
+        if lo < self.base_address or hi >= self.base_address + self.size_bytes:
+            raise AccessError(
+                f"address batch [{lo:#x}, {hi:#x}] outside image "
+                f"[{self.base_address:#x}, "
+                f"{self.base_address + self.size_bytes:#x})"
+            )

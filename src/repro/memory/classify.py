@@ -1,0 +1,297 @@
+"""Trace-order memory classification.
+
+Walks a sealed trace once through the cache hierarchy (private L1D for the
+scalar side, banked shared L2HN for everything) and labels every memory
+reference with the level that served it. The result — a
+:class:`ClassifiedTrace` — is **independent of the latency and bandwidth
+knobs**, so one classification pass serves an entire Figure-3/Figure-5
+sweep; only the (cheap) timing stage reruns per sweep point.
+
+Hierarchy rules (single core+VPU agent):
+
+* scalar loads/stores: L1D → L2 → DRAM; write-allocate, write-back.
+  A dirty L1 victim is written back into L2 (full line, no DRAM fill);
+  a dirty L2 victim becomes one DRAM write transaction.
+* vector loads/stores bypass L1 and access the L2HN directly (the decoupled
+  VPU has its own memory path in Vitruvius). Element addresses of one
+  instruction are coalesced into line requests (configurable for gathers).
+* unit-stride vector stores that cover whole lines allocate without a DRAM
+  fill (streaming-store behaviour); gather/scatter and strided store misses
+  fetch the line first.
+* lines resident in L1 that the VPU touches are recalled (home-node
+  coherence): invalidated in L1 and, if dirty, written back into L2 first.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SdvConfig
+from repro.errors import TraceError
+from repro.memory.cache import SetAssocCache
+from repro.memory.l2hn import L2HomeNode
+from repro.trace.events import (
+    Barrier,
+    ScalarBlock,
+    TraceBuffer,
+    VMemPattern,
+    VOpClass,
+)
+from repro.util.mathx import log2_int
+from repro.util.units import LINE_BYTES
+
+LINE_SHIFT = log2_int(LINE_BYTES)
+
+
+class AccessLevel(enum.IntEnum):
+    """Which level served a memory reference."""
+
+    L1 = 0
+    L2 = 1
+    DRAM = 2
+
+
+# Row dtype of the columnar classified trace consumed by the fast engine.
+ROW_DTYPE = np.dtype(
+    [
+        ("kind", np.uint8),        # 0 scalar block, 1 vector arith, 2 vector mem,
+                                   # 3 barrier
+        ("n_alu", np.int64),       # scalar block ALU ops
+        ("n_mem", np.int64),       # scalar block memory ops
+        ("l1_hits", np.int64),
+        ("l2_hits", np.int64),
+        ("dram_reads", np.int64),
+        ("dram_writes", np.int64),  # writebacks + store traffic to DRAM
+        ("vl", np.int32),
+        ("active", np.int32),
+        ("opclass", np.uint8),      # VOpClass ordinal (255 for scalar rows)
+        ("pattern", np.uint8),      # VMemPattern ordinal (255 if N/A)
+        ("n_line_reqs", np.int64),  # vector mem: line requests after coalescing
+        ("mlp_hint", np.int64),
+        ("is_write", np.uint8),
+        ("dep", np.int64),          # producing record index (-1 none)
+        ("scalar_dest", np.uint8),  # instruction writes a scalar register
+        ("pf_dram_reads", np.int64),  # prefetcher-issued DRAM fills (non-
+                                      # blocking: bandwidth, not stall)
+    ]
+)
+
+KIND_SCALAR, KIND_VARITH, KIND_VMEM, KIND_BARRIER = 0, 1, 2, 3
+
+_OPCLASS_ID = {c: i for i, c in enumerate(VOpClass)}
+_PATTERN_ID = {p: i for i, p in enumerate(VMemPattern)}
+
+
+@dataclass
+class ClassifiedTrace:
+    """Per-record classified view of a trace.
+
+    ``rows`` is a structured array with one row per trace record (columnar,
+    for the fast engine); ``levels`` holds, per record, the
+    :class:`AccessLevel` of each line/element request in order (for the
+    event engine). ``trace`` is the original buffer.
+    """
+
+    rows: np.ndarray
+    levels: list[np.ndarray | None]
+    trace: TraceBuffer
+    config: SdvConfig
+
+    # aggregate convenience
+    totals: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.levels) != self.rows.shape[0]:
+            raise TraceError("levels list misaligned with rows")
+        if not self.totals:
+            r = self.rows
+            self.totals = {
+                "l1_hits": int(r["l1_hits"].sum()),
+                "l2_hits": int(r["l2_hits"].sum()),
+                "dram_reads": int(r["dram_reads"].sum()),
+                "dram_writes": int(r["dram_writes"].sum()),
+                "scalar_mem_ops": int(r["n_mem"].sum()),
+                "vector_line_reqs": int(r["n_line_reqs"].sum()),
+                "pf_dram_reads": int(r["pf_dram_reads"].sum()),
+            }
+
+    @property
+    def dram_transactions(self) -> int:
+        return (self.totals["dram_reads"] + self.totals["dram_writes"]
+                + self.totals.get("pf_dram_reads", 0))
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_transactions * LINE_BYTES
+
+
+def _coalesce_lines(addrs: np.ndarray, pattern: VMemPattern,
+                    coalesce_gathers: bool) -> np.ndarray:
+    """Element byte addresses of one vector instruction → line requests.
+
+    Unit-stride/strided accesses always coalesce adjacent same-line elements
+    (the memory unit buffers a line's worth). Indexed accesses coalesce only
+    when the hardware supports it (``coalesce_gathers``), and then only
+    duplicate lines anywhere in the instruction (CAM over the open requests),
+    preserving first-touch order.
+    """
+    lines = addrs >> LINE_SHIFT
+    if lines.size == 0:
+        return lines
+    if pattern is VMemPattern.INDEXED and not coalesce_gathers:
+        return lines
+    if pattern is VMemPattern.INDEXED:
+        # unique, stable order of first occurrence
+        _, first_idx = np.unique(lines, return_index=True)
+        return lines[np.sort(first_idx)]
+    # unit/strided: drop consecutive duplicates
+    keep = np.empty(lines.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    return lines[keep]
+
+
+def classify_trace(trace: TraceBuffer, config: SdvConfig) -> ClassifiedTrace:
+    """Classify every memory reference of ``trace`` against fresh caches."""
+    if not trace.sealed:
+        raise TraceError("classify_trace requires a sealed trace")
+    config.validate()
+
+    l1 = SetAssocCache(config.core.l1d_bytes, config.core.l1d_ways, name="l1d")
+    l2 = L2HomeNode(config.l2)
+    prefetch_depth = config.core.l1_prefetch_depth
+
+    n = len(trace)
+    rows = np.zeros(n, dtype=ROW_DTYPE)
+    rows["opclass"] = 255
+    rows["pattern"] = 255
+    rows["dep"] = -1
+    levels_per_record: list[np.ndarray | None] = [None] * n
+
+    l1_access = l1.access_line
+    l2_access = l2.access_line
+
+    for i, rec in enumerate(trace):
+        row = rows[i]
+        if isinstance(rec, Barrier):
+            row["kind"] = KIND_BARRIER
+            continue
+
+        if isinstance(rec, ScalarBlock):
+            row["kind"] = KIND_SCALAR
+            row["n_alu"] = rec.n_alu_ops
+            row["n_mem"] = rec.n_mem_ops
+            row["mlp_hint"] = rec.mlp_hint
+            if rec.n_mem_ops == 0:
+                continue
+            lines = rec.mem_addrs >> LINE_SHIFT
+            writes = rec.mem_is_write
+            lv = np.empty(rec.n_mem_ops, dtype=np.uint8)
+            dram_writes = 0
+            dram_reads = 0
+            pf_dram_reads = 0
+            l1_hits = 0
+            l2_hits = 0
+            for j in range(rec.n_mem_ops):
+                line = int(lines[j])
+                hit, victim, victim_dirty = l1_access(
+                    line, write=bool(writes[j])
+                )
+                if victim_dirty:
+                    if l2.writeback_line(victim) is not None:
+                        dram_writes += 1
+                if hit:
+                    lv[j] = AccessLevel.L1
+                    l1_hits += 1
+                    continue
+                hit2, victim2 = l2_access(line, write=False)
+                if victim2 is not None:
+                    dram_writes += 1
+                if hit2:
+                    lv[j] = AccessLevel.L2
+                    l2_hits += 1
+                else:
+                    lv[j] = AccessLevel.DRAM
+                    dram_reads += 1
+                # next-N-line stream prefetch: fill L1 (and L2 on the way)
+                # with the following lines; prefetch fills consume DRAM
+                # bandwidth but, being non-blocking, add no demand stall
+                for p_ in range(1, prefetch_depth + 1):
+                    pline = line + p_
+                    if l1.contains_line(pline):
+                        continue
+                    _h2, victim_p = l2_access(pline, write=False)
+                    if victim_p is not None:
+                        dram_writes += 1
+                    if not _h2:
+                        pf_dram_reads += 1
+                    _hit_p, victim_l1, victim_l1_dirty = l1_access(
+                        pline, write=False)
+                    if victim_l1_dirty:
+                        if l2.writeback_line(victim_l1) is not None:
+                            dram_writes += 1
+            row["l1_hits"] = l1_hits
+            row["l2_hits"] = l2_hits
+            row["dram_reads"] = dram_reads
+            row["dram_writes"] = dram_writes
+            row["pf_dram_reads"] = pf_dram_reads
+            levels_per_record[i] = lv
+            continue
+
+        # VectorInstr
+        if rec.op is not VOpClass.MEM:
+            row["kind"] = KIND_VARITH
+            row["vl"] = rec.vl
+            row["active"] = rec.active
+            row["opclass"] = _OPCLASS_ID[rec.op]
+            row["dep"] = rec.dep
+            row["scalar_dest"] = 1 if rec.scalar_dest else 0
+            continue
+
+        row["kind"] = KIND_VMEM
+        row["vl"] = rec.vl
+        row["active"] = rec.active
+        row["opclass"] = _OPCLASS_ID[rec.op]
+        row["pattern"] = _PATTERN_ID[rec.pattern]
+        row["is_write"] = 1 if rec.is_write else 0
+        row["dep"] = rec.dep
+        row["scalar_dest"] = 1 if rec.scalar_dest else 0
+        lines = _coalesce_lines(
+            rec.addrs, rec.pattern, config.vpu.coalesce_gathers
+        )
+        row["n_line_reqs"] = lines.shape[0]
+        lv = np.empty(lines.shape[0], dtype=np.uint8)
+        dram_writes = 0
+        dram_reads = 0
+        l2_hits = 0
+        # unit-stride stores allocate whole lines without fetching
+        fill_on_store_miss = rec.pattern is not VMemPattern.UNIT
+        for j in range(lines.shape[0]):
+            line = int(lines[j])
+            # home-node recall of lines the scalar side holds
+            if l1.contains_line(line):
+                if l1.invalidate_line(line):
+                    if l2.writeback_line(line) is not None:
+                        dram_writes += 1
+            hit, victim = l2_access(line, write=rec.is_write)
+            if victim is not None:
+                dram_writes += 1
+            if hit:
+                lv[j] = AccessLevel.L2
+                l2_hits += 1
+            elif rec.is_write and not fill_on_store_miss:
+                lv[j] = AccessLevel.L2  # allocated without fill
+                l2_hits += 1
+            else:
+                lv[j] = AccessLevel.DRAM
+                dram_reads += 1
+        row["l2_hits"] = l2_hits
+        row["dram_reads"] = dram_reads
+        row["dram_writes"] = dram_writes
+        levels_per_record[i] = lv
+
+    return ClassifiedTrace(rows=rows, levels=levels_per_record, trace=trace,
+                           config=config)

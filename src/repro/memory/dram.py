@@ -1,0 +1,68 @@
+"""Main-memory (DDR4-behind-the-L2HN) timing model.
+
+On the FPGA-SDV the DDR4 runs much faster (333 MHz) than the emulated SoC
+(50 MHz), so from the SoC's perspective memory behaves like a fixed-latency,
+fully pipelined device: ~50 cycles minimum load-to-use including the on-chip
+path. This module models the DRAM *service* portion of that path; the
+Latency Controller and Bandwidth Limiter are composed in front of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MemConfig
+from repro.memory.bandwidth_limiter import BandwidthLimiter
+from repro.memory.latency_controller import LatencyController
+
+
+@dataclass
+class DramStats:
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def transactions(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bytes_moved(self) -> int:
+        from repro.util.units import LINE_BYTES
+
+        return self.transactions * LINE_BYTES
+
+
+class DramModel:
+    """Fixed-service-latency DRAM with the two throttle modules in front.
+
+    ``service(request_time)`` returns the completion time of one 64-byte
+    transaction entering the memory subsystem boundary (below L2) at
+    ``request_time``: it is admitted by the Bandwidth Limiter, delayed by the
+    Latency Controller, then serviced.
+    """
+
+    def __init__(self, config: MemConfig) -> None:
+        config.validate()
+        self.config = config
+        self.latency_controller = LatencyController(config.extra_latency_cycles)
+        self.bandwidth_limiter = BandwidthLimiter(config.bw_num, config.bw_den)
+        self.stats = DramStats()
+
+    def reset(self) -> None:
+        self.bandwidth_limiter.reset()
+        self.stats = DramStats()
+
+    def service(self, request_time: float, *, write: bool = False) -> float:
+        """Completion time of one line transaction entering at ``request_time``."""
+        if write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        admitted = self.bandwidth_limiter.admit(request_time)
+        delayed = self.latency_controller.delay(admitted)
+        return delayed + self.config.dram_service_cycles
+
+    @property
+    def unloaded_latency(self) -> int:
+        """Latency of one transaction with no contention."""
+        return self.config.dram_service_cycles + self.latency_controller.extra_cycles

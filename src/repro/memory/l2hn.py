@@ -1,0 +1,164 @@
+"""Shared L2 cache + MESI home node (L2HN) — the purple block of Figure 1.
+
+The FPGA-SDV instantiates four L2HN banks on the 2x2 mesh; lines are
+interleaved across banks by low line-address bits. Each bank pairs a slice
+of the shared L2 with a MESI-based coherence home node. With a single
+core+VPU agent (the configuration measured in the paper) no invalidation
+traffic ever flows, but the directory states are tracked so the model
+extends to multi-agent setups and so tests can assert protocol invariants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import L2Config
+from repro.errors import ConfigError
+from repro.memory.cache import CacheStats, SetAssocCache
+from repro.util.mathx import log2_int
+from repro.util.units import LINE_BYTES
+
+
+class MesiState(enum.Enum):
+    """Directory state of a line at its home node."""
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    MODIFIED = "M"
+
+
+@dataclass
+class L2hnStats:
+    """Aggregated over all banks, plus a per-bank access histogram."""
+
+    per_bank_accesses: list[int] = field(default_factory=list)
+    directory_transitions: int = 0
+
+    def bank_imbalance(self) -> float:
+        """max/mean per-bank access ratio (1.0 = perfectly balanced)."""
+        if not self.per_bank_accesses or sum(self.per_bank_accesses) == 0:
+            return 1.0
+        mean = sum(self.per_bank_accesses) / len(self.per_bank_accesses)
+        return max(self.per_bank_accesses) / mean if mean else 1.0
+
+
+class L2HomeNode:
+    """Banked shared L2 with a MESI-lite directory (single requesting agent)."""
+
+    def __init__(self, config: L2Config) -> None:
+        config.validate()
+        self.config = config
+        self.bank_shift = log2_int(LINE_BYTES)
+        self.bank_mask = config.banks - 1
+        self.bank_bits = log2_int(config.banks)
+        self.banks = [
+            SetAssocCache(
+                config.bank_bytes,
+                config.ways,
+                name=f"l2-bank{b}",
+            )
+            for b in range(config.banks)
+        ]
+        self.stats = L2hnStats(per_bank_accesses=[0] * config.banks)
+        # directory: line -> MesiState for lines the single agent holds
+        self._directory: dict[int, MesiState] = {}
+
+    # -- address mapping ------------------------------------------------------
+
+    def bank_of_addr(self, addr: int) -> int:
+        """Bank index of a byte address (line-interleaved)."""
+        return (addr >> self.bank_shift) & self.bank_mask
+
+    def bank_of_line(self, line: int) -> int:
+        return line & self.bank_mask
+
+    def banks_of_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Vectorized bank mapping for a batch of line numbers."""
+        return np.asarray(lines, dtype=np.int64) & self.bank_mask
+
+    # -- access ----------------------------------------------------------------
+
+    def access_line(self, line: int, *, write: bool = False
+                    ) -> tuple[bool, int | None]:
+        """Access one line; returns ``(hit, dirty_victim_line_or_None)``.
+
+        A dirty victim means one writeback transaction to DRAM. The MESI
+        directory also advances: a read fill installs the line Exclusive
+        (sole agent), a write upgrades to Modified; an evicted line drops to
+        Invalid.
+        """
+        bank = self.bank_of_line(line)
+        self.stats.per_bank_accesses[bank] += 1
+        # banks index their sets with the line bits ABOVE the interleave
+        # bits, so every set of every bank is usable
+        hit, victim_local, victim_dirty = self.banks[bank].access_line(
+            line >> self.bank_bits, write=write
+        )
+
+        prev = self._directory.get(line, MesiState.INVALID)
+        new = MesiState.MODIFIED if write else (
+            prev if prev is not MesiState.INVALID else MesiState.EXCLUSIVE
+        )
+        if new is not prev:
+            self._directory[line] = new
+            self.stats.directory_transitions += 1
+        victim = None
+        if victim_local is not None:
+            victim = (victim_local << self.bank_bits) | bank
+            if victim in self._directory:
+                del self._directory[victim]
+                self.stats.directory_transitions += 1
+            if not victim_dirty:
+                victim = None  # clean drop: no DRAM transaction
+        return hit, victim
+
+    def writeback_line(self, line: int) -> int | None:
+        """Absorb a dirty writeback from the level above (full-line write).
+
+        No fill from DRAM is needed; returns a dirty victim line (one DRAM
+        write) if installing the writeback evicted one.
+        """
+        bank = self.bank_of_line(line)
+        victim_local, victim_dirty = self.banks[bank].install_line(
+            line >> self.bank_bits, dirty=True
+        )
+        self._directory[line] = MesiState.MODIFIED
+        if victim_local is None:
+            return None
+        victim = (victim_local << self.bank_bits) | bank
+        if victim in self._directory:
+            del self._directory[victim]
+        return victim if victim_dirty else None
+
+    def directory_state(self, line: int) -> MesiState:
+        return self._directory.get(line, MesiState.INVALID)
+
+    def flush(self) -> int:
+        """Invalidate all banks; returns dirty lines dropped."""
+        self._directory.clear()
+        return sum(bank.flush() for bank in self.banks)
+
+    # -- stats ------------------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        total = CacheStats()
+        for bank in self.banks:
+            total = total.merge(bank.stats)
+        return total
+
+    @property
+    def total_bytes(self) -> int:
+        return self.config.total_bytes
+
+    def validate_single_agent_invariant(self) -> None:
+        """With one agent, no line may be SHARED (nobody to share with)."""
+        bad = [l for l, s in self._directory.items() if s is MesiState.SHARED]
+        if bad:
+            raise ConfigError(
+                f"single-agent L2HN has SHARED lines: {bad[:4]}..."
+            )

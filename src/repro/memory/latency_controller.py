@@ -1,0 +1,43 @@
+"""Latency Controller — Section 2.2 of the paper.
+
+A hardware module sitting between the L2HN and DDR4 that stalls each read or
+write for a user-defined number of cycles *in a pipelined fashion*: every
+request is delayed by the configured amount, but back-to-back requests do not
+serialize behind each other — the module only adds latency, never removes
+throughput. It is software-configurable at runtime, which is exactly how the
+sweeps of Section 4.1 change latency without reprogramming the FPGA.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class LatencyController:
+    """Pipelined fixed-delay stage in front of main memory."""
+
+    def __init__(self, extra_cycles: int = 0) -> None:
+        self._extra = 0
+        self.set_extra_cycles(extra_cycles)
+
+    @property
+    def extra_cycles(self) -> int:
+        """Currently configured additional delay per memory request."""
+        return self._extra
+
+    def set_extra_cycles(self, cycles: int) -> None:
+        """Reconfigure at runtime (the module's software interface)."""
+        if cycles < 0:
+            raise ConfigError(f"extra latency must be >= 0, got {cycles}")
+        self._extra = int(cycles)
+
+    def delay(self, request_time: float) -> float:
+        """Time at which a request entering at ``request_time`` exits.
+
+        Pipelined: the exit time depends only on the entry time, never on
+        other in-flight requests.
+        """
+        return request_time + self._extra
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LatencyController(extra_cycles={self._extra})"

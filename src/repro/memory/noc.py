@@ -1,0 +1,71 @@
+"""2D-mesh network-on-chip model (EXTOLL-like, 2x2 in the FPGA-SDV).
+
+The core+VPU tile injects at node (0,0); the ``b``-th L2HN bank sits at mesh
+node ``b`` in row-major order (the paper instantiates four L2HN on the four
+nodes of the 2x2 mesh). Routing is dimension-ordered (XY), so the hop count
+between two nodes is the Manhattan distance; latency per message is
+``inject + hops * hop_cycles`` each way.
+
+The NoC in this model contributes *latency*; throughput limits live in the
+Bandwidth Limiter in front of DRAM (the FPGA NoC is never the bottleneck at
+the emulated 50 MHz — DDR4 runs at 333 MHz, Section 2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import NocConfig
+from repro.errors import ConfigError
+
+
+class MeshNoc:
+    """XY-routed 2D mesh; computes hop counts and one-way message latency."""
+
+    def __init__(self, config: NocConfig) -> None:
+        config.validate()
+        self.config = config
+        self.core_node = 0  # row-major node id of the core+VPU tile
+
+    def node_xy(self, node: int) -> tuple[int, int]:
+        """(col, row) coordinates of a row-major node id."""
+        if not 0 <= node < self.config.nodes:
+            raise ConfigError(
+                f"node {node} outside mesh of {self.config.nodes} nodes"
+            )
+        return node % self.config.mesh_cols, node // self.config.mesh_cols
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan (XY-routing) hop count between two nodes."""
+        sx, sy = self.node_xy(src)
+        dx, dy = self.node_xy(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def hops_to_bank(self, bank: int, banks: int) -> int:
+        """Hops from the core tile to L2 bank ``bank`` (banks are placed on
+        the first ``banks`` mesh nodes in row-major order)."""
+        if not 0 <= bank < banks:
+            raise ConfigError(f"bank {bank} out of range ({banks} banks)")
+        if banks > self.config.nodes:
+            raise ConfigError(
+                f"{banks} banks do not fit a {self.config.nodes}-node mesh"
+            )
+        return self.hops(self.core_node, bank)
+
+    def one_way_latency(self, src: int, dst: int) -> int:
+        """Cycles for one message from ``src`` to ``dst``."""
+        return self.config.inject_cycles + self.hops(src, dst) * self.config.hop_cycles
+
+    def round_trip_latency(self, bank: int, banks: int) -> int:
+        """Request+response latency between the core tile and a bank."""
+        one_way = self.one_way_latency(self.core_node, bank % self.config.nodes)
+        if bank >= banks:
+            raise ConfigError(f"bank {bank} out of range ({banks} banks)")
+        return 2 * one_way
+
+    def bank_latencies(self, banks: int) -> np.ndarray:
+        """Round-trip latency per bank, as an array (used vectorized)."""
+        return np.array(
+            [self.round_trip_latency(b, banks) for b in range(banks)],
+            dtype=np.int64,
+        )

@@ -1,0 +1,6 @@
+"""SoC top level: the emulated FPGA-SDV as one object."""
+
+from repro.soc.sdv import FpgaSdv, Session
+from repro.soc.hwcounters import HwCounters
+
+__all__ = ["FpgaSdv", "Session", "HwCounters"]

@@ -1,0 +1,44 @@
+"""Hardware counters of the emulated system.
+
+The paper's measurements read the CPU cycle counter CSR (Section 3.2) and
+average five runs. Our simulator is deterministic, so one run suffices; the
+counter object still exposes the same reading discipline (snapshot/delta)
+so measurement code reads like the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.results import CycleReport
+
+
+@dataclass
+class HwCounters:
+    """Cycle counter + retirement counters accumulated across runs."""
+
+    cycles: float = 0.0
+    scalar_instret: int = 0
+    vector_instret: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    history: list[float] = field(default_factory=list)
+
+    def absorb(self, report: CycleReport, *, scalar_instret: int = 0,
+               vector_instret: int = 0) -> None:
+        """Accumulate one run's counters."""
+        self.cycles += report.cycles
+        self.history.append(report.cycles)
+        self.scalar_instret += scalar_instret
+        self.vector_instret += vector_instret
+        self.dram_reads += report.dram_reads
+        self.dram_writes += report.dram_writes
+
+    def snapshot(self) -> float:
+        """Read the cycle CSR."""
+        return self.cycles
+
+    @staticmethod
+    def delta(before: float, after: float) -> float:
+        """Elapsed cycles between two snapshots."""
+        return after - before

@@ -1,0 +1,154 @@
+"""The FPGA Software Development Vehicle, as one configurable object.
+
+:class:`FpgaSdv` plays the role of the VCU128 board + host flow of the
+paper's Figure 2: you "program" it with an :class:`repro.config.SdvConfig`
+(the bitstream), reconfigure the three runtime knobs without re-programming
+(max VL CSR, Latency Controller, Bandwidth Limiter), open a
+:class:`Session` to run code on it, and read cycle counts back.
+
+Classification caching: the hit/miss classification of a trace depends only
+on the cache geometry, never on the latency/bandwidth knobs, so ``time()``
+caches the classified trace *on the trace object* and re-times it cheaply
+for every sweep point — the moral equivalent of re-running the same binary
+on the FPGA with different Latency Controller settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.config import SdvConfig
+from repro.engine.event_sim import simulate_events
+from repro.engine.fast_sim import simulate_fast
+from repro.engine.results import CycleReport
+from repro.errors import ConfigError
+from repro.isa.csr import CsrFile
+from repro.isa.scalar_ctx import ScalarContext
+from repro.isa.vector_ctx import VectorContext
+from repro.memory.address_space import MemoryImage
+from repro.memory.classify import ClassifiedTrace, classify_trace
+from repro.soc.hwcounters import HwCounters
+from repro.trace.events import TraceBuffer
+
+_ENGINES = {"fast": simulate_fast, "event": simulate_events}
+
+
+@dataclass
+class Session:
+    """One program running on the SDV: memory image + ISA contexts."""
+
+    mem: MemoryImage
+    trace: TraceBuffer
+    scalar: ScalarContext
+    vector: VectorContext
+
+    def seal(self) -> TraceBuffer:
+        """Flush pending scalar state and freeze the trace."""
+        self.scalar.flush()
+        return self.trace.seal()
+
+
+class FpgaSdv:
+    """The emulated RISC-V + VPU + NoC + L2HN system."""
+
+    def __init__(self, config: SdvConfig | None = None, *,
+                 engine: str = "fast") -> None:
+        self.config = (config if config is not None else SdvConfig()).validate()
+        if engine not in _ENGINES:
+            raise ConfigError(
+                f"unknown engine '{engine}' (choose from {sorted(_ENGINES)})"
+            )
+        self.engine = engine
+        self.counters = HwCounters()
+
+    # ------------------------------------------------------------- knobs
+
+    def configure(self, *, max_vl: int | None = None,
+                  extra_latency: int | None = None,
+                  bandwidth_bpc: int | None = None) -> "FpgaSdv":
+        """Set any of the three runtime knobs (None = leave unchanged).
+
+        Mirrors the register pokes the host performs over PCIe in the real
+        setup; no "re-synthesis" (object rebuild) happens.
+        """
+        cfg = self.config
+        if max_vl is not None:
+            cfg = cfg.with_max_vl(max_vl)
+        if extra_latency is not None:
+            cfg = cfg.with_extra_latency(extra_latency)
+        if bandwidth_bpc is not None:
+            cfg = cfg.with_bandwidth(bandwidth_bpc)
+        self.config = cfg
+        return self
+
+    @property
+    def max_vl(self) -> int:
+        return self.config.vpu.max_vl
+
+    @property
+    def extra_latency(self) -> int:
+        return self.config.mem.extra_latency_cycles
+
+    @property
+    def bandwidth_bpc(self) -> float:
+        return self.config.mem.bytes_per_cycle_limit
+
+    # ----------------------------------------------------------- sessions
+
+    def session(self) -> Session:
+        """Fresh memory image + trace + ISA contexts at current max VL."""
+        mem = MemoryImage(self.config.memory_bytes)
+        trace = TraceBuffer()
+        csr = CsrFile(self.config.vpu.max_vl)
+        return Session(
+            mem=mem,
+            trace=trace,
+            scalar=ScalarContext(mem, trace),
+            vector=VectorContext(mem, trace, csr),
+        )
+
+    # ------------------------------------------------------------- timing
+
+    def _geometry_key(self) -> tuple:
+        c = self.config
+        return (
+            c.core.l1d_bytes, c.core.l1d_ways, c.core.l1_prefetch_depth,
+            c.l2.banks, c.l2.bank_bytes, c.l2.ways,
+            c.vpu.coalesce_gathers,
+        )
+
+    def classify(self, trace: TraceBuffer) -> ClassifiedTrace:
+        """Classify (or fetch the cached classification of) a sealed trace."""
+        cache = getattr(trace, "_classified_cache", None)
+        if cache is None:
+            cache = {}
+            setattr(trace, "_classified_cache", cache)
+        key = self._geometry_key()
+        ct = cache.get(key)
+        if ct is None:
+            ct = classify_trace(trace, self.config)
+            cache[key] = ct
+        # re-bind the current knob settings (latency/bandwidth/VPU timing)
+        return dataclasses.replace(ct, config=self.config)
+
+    def time(self, trace: TraceBuffer, *, engine: str | None = None
+             ) -> CycleReport:
+        """Cycle-count a sealed trace under the current knob settings."""
+        ct = self.classify(trace)
+        report = _ENGINES[engine or self.engine](ct)
+        self.counters.absorb(report)
+        return report
+
+    def run(self, build_fn, *args, engine: str | None = None, **kwargs):
+        """Convenience: open a session, run ``build_fn(session, ...)``,
+        seal, and time.
+
+        ``build_fn`` is any callable that executes a kernel against the
+        session's ISA contexts and returns its functional result. Returns
+        ``(result, CycleReport)``.
+        """
+        sess = self.session()
+        result = build_fn(sess, *args, **kwargs)
+        trace = sess.seal()
+        return result, self.time(trace, engine=engine)

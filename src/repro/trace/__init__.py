@@ -1,0 +1,36 @@
+"""Instruction/memory trace infrastructure.
+
+Kernels execute *functionally* (NumPy) while recording a trace of what the
+real machine would do: scalar instruction blocks with their memory address
+streams, and vector instructions with their per-element addresses. The trace
+is the interface between the ISA layer and the timing engines — generate the
+trace once, classify its memory behaviour once, then time it under many
+(latency, bandwidth) settings. That split is what makes whole-paper sweeps
+tractable in pure Python.
+"""
+
+from repro.trace.events import (
+    Barrier,
+    Record,
+    ScalarBlock,
+    TraceBuffer,
+    VectorInstr,
+    VMemPattern,
+    VOpClass,
+)
+from repro.trace.stats import TraceStats, summarize_trace
+from repro.trace.serialize import load_trace, save_trace
+
+__all__ = [
+    "Barrier",
+    "Record",
+    "ScalarBlock",
+    "TraceBuffer",
+    "VectorInstr",
+    "VMemPattern",
+    "VOpClass",
+    "TraceStats",
+    "summarize_trace",
+    "load_trace",
+    "save_trace",
+]

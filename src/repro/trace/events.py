@@ -1,0 +1,175 @@
+"""Trace record types.
+
+Three kinds of record, in strict program order:
+
+* :class:`ScalarBlock` — a straight-line run of scalar instructions,
+  described by an ALU-op count plus columnar memory address/write arrays.
+  Kernels emit *large* blocks (often an entire loop nest) whose address
+  streams are computed vectorized with NumPy; ``mlp_hint`` tells the timing
+  model how many of the block's misses are mutually independent (e.g. 1 for
+  pointer chasing, "unbounded" for independent stream gathers).
+* :class:`VectorInstr` — one RVV instruction: op class, element count (the
+  VL it executed with), and, for memory ops, the per-element addresses.
+* :class:`Barrier` — a synchronization point (e.g. between BFS levels or
+  FFT stages): the VPU must drain before the next record starts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+class VOpClass(enum.Enum):
+    """Timing class of a vector instruction."""
+
+    ARITH = "arith"            # add/mul/fma/logic/shift, fully lane-pipelined
+    ARITH_HEAVY = "heavy"      # div/sqrt: long-latency iterative unit
+    MEM = "mem"                # any vector load/store (pattern field applies)
+    PERMUTE = "permute"        # vrgather/vcompress/slide: cross-lane network
+    REDUCE = "reduce"          # vredsum & friends: lane tree + scalar drain
+    MASK = "mask"              # mask-register ops (vmseq result ops, viota...)
+    CSR = "csr"                # vsetvl and CSR reads/writes
+
+
+class VMemPattern(enum.Enum):
+    """Address pattern of a vector memory instruction."""
+
+    UNIT = "unit"          # vle/vse: consecutive elements
+    STRIDED = "strided"    # vlse/vsse: constant stride
+    INDEXED = "indexed"    # vlxe/vsxe: gather/scatter
+
+
+#: mlp_hint value meaning "misses in this block are all independent";
+#: the core's MSHR count becomes the only parallelism bound.
+MLP_UNBOUNDED: int = 1 << 30
+
+
+@dataclass
+class ScalarBlock:
+    """A run of scalar instructions with a columnar memory-access stream."""
+
+    n_alu_ops: int
+    mem_addrs: np.ndarray          # int64 byte addresses, program order
+    mem_is_write: np.ndarray       # bool, aligned with mem_addrs
+    mem_bytes: int = 8             # access granularity (8 = double/word64)
+    mlp_hint: int = MLP_UNBOUNDED
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.mem_addrs = np.ascontiguousarray(self.mem_addrs, dtype=np.int64)
+        self.mem_is_write = np.ascontiguousarray(self.mem_is_write, dtype=bool)
+        if self.mem_addrs.shape != self.mem_is_write.shape:
+            raise TraceError(
+                f"block '{self.label}': addrs {self.mem_addrs.shape} vs "
+                f"writes {self.mem_is_write.shape}"
+            )
+        if self.n_alu_ops < 0:
+            raise TraceError(f"block '{self.label}': negative n_alu_ops")
+        if self.mlp_hint < 1:
+            raise TraceError(f"block '{self.label}': mlp_hint must be >= 1")
+
+    @property
+    def n_mem_ops(self) -> int:
+        return int(self.mem_addrs.shape[0])
+
+    @property
+    def n_insns(self) -> int:
+        """Total dynamic instruction estimate for the block."""
+        return self.n_alu_ops + self.n_mem_ops
+
+
+@dataclass
+class VectorInstr:
+    """One dynamic RVV instruction."""
+
+    op: VOpClass
+    vl: int
+    opcode: str = ""                      # mnemonic, for reports/debug
+    pattern: VMemPattern | None = None    # memory ops only
+    addrs: np.ndarray | None = None       # element byte addresses (memory ops)
+    is_write: bool = False
+    elem_bytes: int = 8
+    masked: bool = False
+    #: number of active (unmasked) elements; defaults to vl
+    active: int | None = None
+    #: trace-record index of the most recent instruction this one reads a
+    #: vector operand from (-1 = no vector dependency). Engines use this for
+    #: RAW hazards and chaining.
+    dep: int = -1
+    #: True when the instruction writes a *scalar* destination (vpopc,
+    #: vfirst, reductions): the scalar core must wait for it.
+    scalar_dest: bool = False
+
+    def __post_init__(self) -> None:
+        if self.vl < 0:
+            raise TraceError(f"{self.opcode}: negative vl")
+        if self.op is VOpClass.MEM:
+            if self.pattern is None or self.addrs is None:
+                raise TraceError(f"{self.opcode}: MEM instr needs pattern+addrs")
+            self.addrs = np.ascontiguousarray(self.addrs, dtype=np.int64)
+            if self.addrs.shape[0] != (self.active if self.active is not None
+                                       else self.vl):
+                raise TraceError(
+                    f"{self.opcode}: {self.addrs.shape[0]} addresses for "
+                    f"vl={self.vl} active={self.active}"
+                )
+        elif self.addrs is not None:
+            raise TraceError(f"{self.opcode}: non-MEM instr carries addresses")
+        if self.active is None:
+            self.active = self.vl
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op is VOpClass.MEM
+
+
+@dataclass
+class Barrier:
+    """Full synchronization: VPU drains, scalar core waits."""
+
+    label: str = ""
+
+
+Record = ScalarBlock | VectorInstr | Barrier
+
+
+class TraceBuffer:
+    """Append-only program-order sequence of trace records."""
+
+    def __init__(self) -> None:
+        self._records: list[Record] = []
+        self._sealed = False
+
+    def append(self, record: Record) -> None:
+        if self._sealed:
+            raise TraceError("trace is sealed; create a new buffer")
+        if not isinstance(record, (ScalarBlock, VectorInstr, Barrier)):
+            raise TraceError(f"not a trace record: {type(record).__name__}")
+        self._records.append(record)
+
+    def seal(self) -> "TraceBuffer":
+        """Freeze the buffer (engines refuse unsealed traces)."""
+        self._sealed = True
+        return self
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def records(self) -> list[Record]:
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, i: int) -> Record:
+        return self._records[i]

@@ -1,0 +1,164 @@
+"""Trace serialization: save a recorded trace to one ``.npz`` file.
+
+Trace generation is the expensive stage of the pipeline (a paper-scale BFS
+trace takes far longer to generate than to re-time). Persisting sealed
+traces lets a workflow record once and re-time under many machine
+configurations later, in other processes, or on other machines — the
+simulator-world analogue of keeping the compiled benchmark binary around.
+
+Format: a single compressed ``.npz`` holding columnar record metadata plus
+one concatenated address pool (scalar addresses and vector element
+addresses), with offsets per record. Version-tagged for forward safety.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    Barrier,
+    ScalarBlock,
+    TraceBuffer,
+    VectorInstr,
+    VMemPattern,
+    VOpClass,
+)
+
+FORMAT_VERSION = 1
+
+_KIND = {"scalar": 0, "vector": 1, "barrier": 2}
+_OPCLASS = list(VOpClass)
+_OPCLASS_ID = {c: i for i, c in enumerate(VOpClass)}
+_PATTERN = list(VMemPattern)
+_PATTERN_ID = {p: i for i, p in enumerate(VMemPattern)}
+
+
+def save_trace(trace: TraceBuffer, path: str | os.PathLike) -> None:
+    """Write a sealed trace to ``path`` (.npz, compressed)."""
+    if not trace.sealed:
+        raise TraceError("only sealed traces can be saved")
+    n = len(trace)
+    kind = np.zeros(n, dtype=np.uint8)
+    n_alu = np.zeros(n, dtype=np.int64)
+    mlp = np.zeros(n, dtype=np.int64)
+    mem_bytes = np.zeros(n, dtype=np.int32)
+    vl = np.zeros(n, dtype=np.int32)
+    active = np.zeros(n, dtype=np.int32)
+    opclass = np.full(n, 255, dtype=np.uint8)
+    pattern = np.full(n, 255, dtype=np.uint8)
+    is_write = np.zeros(n, dtype=np.uint8)
+    masked = np.zeros(n, dtype=np.uint8)
+    dep = np.full(n, -1, dtype=np.int64)
+    scalar_dest = np.zeros(n, dtype=np.uint8)
+    addr_off = np.zeros(n + 1, dtype=np.int64)
+    opcodes: list[str] = []
+    labels: list[str] = []
+
+    addr_chunks: list[np.ndarray] = []
+    write_chunks: list[np.ndarray] = []
+    total = 0
+    for i, rec in enumerate(trace):
+        if isinstance(rec, ScalarBlock):
+            kind[i] = _KIND["scalar"]
+            n_alu[i] = rec.n_alu_ops
+            mlp[i] = rec.mlp_hint
+            mem_bytes[i] = rec.mem_bytes
+            labels.append(rec.label)
+            opcodes.append("")
+            addr_chunks.append(rec.mem_addrs)
+            write_chunks.append(rec.mem_is_write)
+            total += rec.mem_addrs.shape[0]
+        elif isinstance(rec, VectorInstr):
+            kind[i] = _KIND["vector"]
+            vl[i] = rec.vl
+            active[i] = rec.active if rec.active is not None else rec.vl
+            opclass[i] = _OPCLASS_ID[rec.op]
+            if rec.pattern is not None:
+                pattern[i] = _PATTERN_ID[rec.pattern]
+            is_write[i] = 1 if rec.is_write else 0
+            masked[i] = 1 if rec.masked else 0
+            dep[i] = rec.dep
+            scalar_dest[i] = 1 if rec.scalar_dest else 0
+            mem_bytes[i] = rec.elem_bytes
+            opcodes.append(rec.opcode)
+            labels.append("")
+            if rec.addrs is not None:
+                addr_chunks.append(rec.addrs)
+                write_chunks.append(
+                    np.full(rec.addrs.shape[0], rec.is_write))
+                total += rec.addrs.shape[0]
+        else:  # Barrier
+            kind[i] = _KIND["barrier"]
+            labels.append(rec.label)
+            opcodes.append("")
+        addr_off[i + 1] = total
+
+    np.savez_compressed(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        kind=kind, n_alu=n_alu, mlp=mlp, mem_bytes=mem_bytes,
+        vl=vl, active=active, opclass=opclass, pattern=pattern,
+        is_write=is_write, masked=masked, dep=dep, scalar_dest=scalar_dest,
+        addr_off=addr_off,
+        addrs=(np.concatenate(addr_chunks) if addr_chunks
+               else np.empty(0, dtype=np.int64)),
+        writes=(np.concatenate(write_chunks) if write_chunks
+                else np.empty(0, dtype=bool)),
+        opcodes=np.array(opcodes, dtype=object),
+        labels=np.array(labels, dtype=object),
+        allow_pickle=True,
+    )
+
+
+def load_trace(path: str | os.PathLike) -> TraceBuffer:
+    """Read a trace saved by :func:`save_trace`; returns it sealed."""
+    with np.load(path, allow_pickle=True) as z:
+        version = int(z["version"])
+        if version != FORMAT_VERSION:
+            raise TraceError(
+                f"trace format version {version} unsupported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        kind = z["kind"]
+        addr_off = z["addr_off"]
+        addrs = z["addrs"]
+        writes = z["writes"]
+        opcodes = z["opcodes"]
+        labels = z["labels"]
+
+        trace = TraceBuffer()
+        for i in range(kind.shape[0]):
+            lo, hi = int(addr_off[i]), int(addr_off[i + 1])
+            if kind[i] == _KIND["scalar"]:
+                trace.append(ScalarBlock(
+                    n_alu_ops=int(z["n_alu"][i]),
+                    mem_addrs=addrs[lo:hi],
+                    mem_is_write=writes[lo:hi],
+                    mem_bytes=int(z["mem_bytes"][i]),
+                    mlp_hint=int(z["mlp"][i]),
+                    label=str(labels[i]),
+                ))
+            elif kind[i] == _KIND["vector"]:
+                op = _OPCLASS[int(z["opclass"][i])]
+                pat = (None if z["pattern"][i] == 255
+                       else _PATTERN[int(z["pattern"][i])])
+                trace.append(VectorInstr(
+                    op=op,
+                    vl=int(z["vl"][i]),
+                    opcode=str(opcodes[i]),
+                    pattern=pat,
+                    addrs=addrs[lo:hi] if hi > lo or op is VOpClass.MEM
+                    else None,
+                    is_write=bool(z["is_write"][i]),
+                    elem_bytes=int(z["mem_bytes"][i]),
+                    masked=bool(z["masked"][i]),
+                    active=int(z["active"][i]),
+                    dep=int(z["dep"][i]),
+                    scalar_dest=bool(z["scalar_dest"][i]),
+                ))
+            else:
+                trace.append(Barrier(label=str(labels[i])))
+    return trace.seal()

@@ -1,0 +1,62 @@
+"""Summary statistics over a trace (pre-timing, architecture-independent)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.events import Barrier, ScalarBlock, TraceBuffer, VectorInstr, VOpClass
+
+
+@dataclass
+class TraceStats:
+    """Dynamic-instruction and memory-traffic summary of one trace."""
+
+    scalar_blocks: int = 0
+    scalar_alu_ops: int = 0
+    scalar_mem_ops: int = 0
+    scalar_mem_bytes: int = 0
+
+    vector_instrs: int = 0
+    vector_mem_instrs: int = 0
+    vector_elems: int = 0            # total elements processed by vector instrs
+    vector_mem_elems: int = 0
+    vector_mem_bytes: int = 0
+    barriers: int = 0
+    by_opclass: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_dynamic_insns(self) -> int:
+        return self.scalar_alu_ops + self.scalar_mem_ops + self.vector_instrs
+
+    @property
+    def avg_vl(self) -> float:
+        """Average VL across vector instructions (0 for scalar-only traces)."""
+        return self.vector_elems / self.vector_instrs if self.vector_instrs else 0.0
+
+    @property
+    def total_mem_bytes(self) -> int:
+        return self.scalar_mem_bytes + self.vector_mem_bytes
+
+
+def summarize_trace(trace: TraceBuffer) -> TraceStats:
+    """Single pass over a trace computing :class:`TraceStats`."""
+    s = TraceStats()
+    for rec in trace:
+        if isinstance(rec, ScalarBlock):
+            s.scalar_blocks += 1
+            s.scalar_alu_ops += rec.n_alu_ops
+            s.scalar_mem_ops += rec.n_mem_ops
+            s.scalar_mem_bytes += rec.n_mem_ops * rec.mem_bytes
+        elif isinstance(rec, VectorInstr):
+            s.vector_instrs += 1
+            s.vector_elems += rec.vl
+            key = rec.op.value
+            s.by_opclass[key] = s.by_opclass.get(key, 0) + 1
+            if rec.op is VOpClass.MEM:
+                s.vector_mem_instrs += 1
+                n_active = rec.active if rec.active is not None else rec.vl
+                s.vector_mem_elems += n_active
+                s.vector_mem_bytes += n_active * rec.elem_bytes
+        elif isinstance(rec, Barrier):
+            s.barriers += 1
+    return s

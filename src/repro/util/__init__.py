@@ -1,0 +1,33 @@
+"""Shared utilities: units, deterministic RNG helpers, text tables, math."""
+
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    bytes_per_cycle,
+    cycles_to_seconds,
+    fmt_bytes,
+    fmt_cycles,
+)
+from repro.util.prng import make_rng, derive_seed
+from repro.util.tables import TextTable, heat_cell, render_heat_table
+from repro.util.mathx import ceil_div, is_pow2, log2_int, next_pow2
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "bytes_per_cycle",
+    "cycles_to_seconds",
+    "fmt_bytes",
+    "fmt_cycles",
+    "make_rng",
+    "derive_seed",
+    "TextTable",
+    "heat_cell",
+    "render_heat_table",
+    "ceil_div",
+    "is_pow2",
+    "log2_int",
+    "next_pow2",
+]

@@ -1,0 +1,47 @@
+"""Small integer-math helpers used across the timing models."""
+
+from __future__ import annotations
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``.
+
+    >>> ceil_div(7, 4)
+    2
+    >>> ceil_div(8, 4)
+    2
+    """
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def is_pow2(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Exact log2 of a power of two; raises for anything else.
+
+    >>> log2_int(64)
+    6
+    """
+    if not is_pow2(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= n (n >= 1).
+
+    >>> next_pow2(5)
+    8
+    >>> next_pow2(8)
+    8
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 << (n - 1).bit_length()

@@ -1,0 +1,40 @@
+"""Deterministic random-number helpers.
+
+All stochastic pieces of the library (workload generators, trace shuffling)
+take explicit seeds so every experiment is reproducible. ``derive_seed``
+deterministically mixes a parent seed with a string label so sub-components
+get independent streams without manual bookkeeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(seed: int, *labels: object) -> int:
+    """Derive a child seed from ``seed`` and any number of labels.
+
+    Stable across processes and Python versions (uses SHA-256, not ``hash``).
+
+    >>> derive_seed(42, "graph") == derive_seed(42, "graph")
+    True
+    >>> derive_seed(42, "graph") != derive_seed(42, "matrix")
+    True
+    """
+    h = hashlib.sha256()
+    h.update(int(seed).to_bytes(16, "little", signed=True))
+    for label in labels:
+        h.update(repr(label).encode("utf-8"))
+        h.update(b"\x00")
+    return int.from_bytes(h.digest()[:8], "little")
+
+
+def make_rng(seed: int | None, *labels: object) -> np.random.Generator:
+    """Create a NumPy Generator; if labels are given, derive a child seed."""
+    if seed is None:
+        return np.random.default_rng()
+    if labels:
+        seed = derive_seed(seed, *labels)
+    return np.random.default_rng(seed)

@@ -1,0 +1,114 @@
+"""Plain-text table rendering, including Figure-4-style heat tables.
+
+The paper's Figure 4 shows, per kernel, a table of slowdowns (rows = extra
+latency, columns = implementation) with a green→red color gradient. We render
+the same structure as monospaced text; when ``color=True`` ANSI background
+colors approximate the gradient for terminals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_RESET = "\x1b[0m"
+
+
+class TextTable:
+    """Minimal monospaced table builder.
+
+    >>> t = TextTable(["a", "b"])
+    >>> t.add_row(["1", "22"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    a | b
+    --+---
+    1 | 22
+    """
+
+    def __init__(self, header: Sequence[str]) -> None:
+        self.header = [str(h) for h in header]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Sequence[object]) -> None:
+        cells = [str(c) for c in row]
+        if len(cells) != len(self.header):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(self.header)}"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.header]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [fmt(self.header), sep]
+        lines.extend(fmt(r) for r in self.rows)
+        return "\n".join(lines)
+
+
+def _gradient_sgr(frac: float) -> str:
+    """ANSI 256-color background from green (0.0) to red (1.0)."""
+    frac = min(1.0, max(0.0, frac))
+    # 6x6x6 color cube: index = 16 + 36*r + 6*g + b
+    r = round(5 * frac)
+    g = round(5 * (1.0 - frac))
+    idx = 16 + 36 * r + 6 * g
+    return f"\x1b[48;5;{idx}m\x1b[30m"
+
+
+def heat_cell(value: float, vmin: float, vmax: float, *, color: bool = False,
+              width: int = 7, fmt: str = "{:.2f}") -> str:
+    """Render one heat-table cell, optionally with an ANSI gradient background.
+
+    ``vmin``/``vmax`` define the green/red ends of the gradient *for this
+    table* (the paper normalizes the gradient per table).
+    """
+    text = fmt.format(value).rjust(width)
+    if not color:
+        return text
+    if vmax <= vmin:
+        frac = 0.0
+    else:
+        frac = (value - vmin) / (vmax - vmin)
+    return f"{_gradient_sgr(frac)}{text}{_RESET}"
+
+
+def render_heat_table(
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    values: Sequence[Sequence[float]],
+    *,
+    title: str = "",
+    color: bool = False,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render a Figure-4-style table: rows × columns of float cells.
+
+    The gradient is scaled to the min/max of the whole table, matching the
+    paper's per-table color coding.
+    """
+    flat = [v for row in values for v in row]
+    if not flat:
+        raise ValueError("heat table needs at least one value")
+    vmin, vmax = min(flat), max(flat)
+    col_strs = [str(c) for c in col_labels]
+    width = max(7, *(len(c) for c in col_strs))
+    row_w = max((len(str(r)) for r in row_labels), default=4)
+    row_w = max(row_w, 4)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" " * row_w + " " + " ".join(c.rjust(width) for c in col_strs))
+    for label, row in zip(row_labels, values):
+        if len(row) != len(col_strs):
+            raise ValueError("ragged heat table row")
+        cells = " ".join(
+            heat_cell(v, vmin, vmax, color=color, width=width, fmt=fmt)
+            for v in row
+        )
+        lines.append(str(label).rjust(row_w) + " " + cells)
+    return "\n".join(lines)

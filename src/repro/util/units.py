@@ -1,0 +1,56 @@
+"""Unit constants and formatting helpers used throughout the simulator.
+
+The FPGA-SDV in the paper runs at 50 MHz; cycle counts are the primary unit
+of time in the whole library (the paper reports cycle counts read from a
+hardware counter). Helpers here convert cycles to wall-clock seconds for a
+given frequency and pretty-print byte/cycle quantities for reports.
+"""
+
+from __future__ import annotations
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+#: Clock frequency of the emulated system in the paper (Section 2.2).
+FPGA_SDV_FREQ_HZ: int = 50_000_000
+
+#: Width of one cache line / memory transaction in bytes (64 B, the peak
+#: bandwidth in the paper is expressed as 64 Bytes/cycle = one line per cycle).
+LINE_BYTES: int = 64
+
+
+def cycles_to_seconds(cycles: float, freq_hz: float = FPGA_SDV_FREQ_HZ) -> float:
+    """Convert a cycle count to seconds at ``freq_hz``.
+
+    >>> cycles_to_seconds(50_000_000)
+    1.0
+    """
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return cycles / freq_hz
+
+
+def bytes_per_cycle(total_bytes: float, cycles: float) -> float:
+    """Achieved bandwidth in bytes/cycle; 0 when no cycles elapsed."""
+    if cycles <= 0:
+        return 0.0
+    return total_bytes / cycles
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count: ``fmt_bytes(2*1024*1024) == '2.0 MiB'``."""
+    n = float(n)
+    for unit, size in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= size:
+            return f"{n / size:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_cycles(n: float) -> str:
+    """Human-readable cycle count with thousands separators."""
+    if abs(n) >= 1e6:
+        return f"{n / 1e6:.2f} Mcyc"
+    if abs(n) >= 1e3:
+        return f"{n / 1e3:.1f} kcyc"
+    return f"{n:.0f} cyc"

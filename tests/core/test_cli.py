@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info_prints_machine(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "FPGA-SDV" in out
+        assert "DRAM latency" in out
+
+
+class TestFigures:
+    def test_fig4_single_kernel(self, capsys):
+        rc = main(["fig4", "--kernel", "fft", "--scale", "smoke",
+                   "--vls", "8,64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "vl64" in out
+
+    def test_fig3_csv_output(self, capsys):
+        rc = main(["fig3", "--kernel", "fft", "--scale", "smoke",
+                   "--vls", "8", "--csv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("latency,scalar,vl8")
+
+    def test_fig5(self, capsys):
+        rc = main(["fig5", "--kernel", "fft", "--scale", "smoke",
+                   "--vls", "8,64"])
+        assert rc == 0
+        assert "plateaus" in capsys.readouterr().out
+
+    def test_headline(self, capsys):
+        rc = main(["headline", "--scale", "smoke", "--vls", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "measured" in out and "8.78x" in out
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--kernel", "nope", "--scale", "smoke"])
+
+    def test_no_verify_flag(self, capsys):
+        rc = main(["fig4", "--kernel", "fft", "--scale", "smoke",
+                   "--vls", "8", "--no-verify"])
+        assert rc == 0
+
+
+class TestNewCommands:
+    def test_fig3_plot_mode(self, capsys):
+        rc = main(["fig3", "--kernel", "fft", "--scale", "smoke",
+                   "--vls", "8,64", "--plot"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "log y" in out and "=scalar" in out
+
+    def test_fig5_plot_mode(self, capsys):
+        rc = main(["fig5", "--kernel", "fft", "--scale", "smoke",
+                   "--vls", "8", "--plot", "--color"])
+        assert rc == 0
+        assert "t/t1" in capsys.readouterr().out
+
+    def test_characterize(self, capsys):
+        rc = main(["characterize", "--kernel", "spmv", "--scale", "smoke",
+                   "--vls", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "AI (flop/B)" in out and "vl64" in out
+
+    def test_validate(self, capsys):
+        rc = main(["validate", "--kernel", "pagerank", "--scale", "smoke",
+                   "--vls", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all implementations verified" in out
+
+    def test_probe(self, capsys):
+        rc = main(["probe"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "triad" in out and "B/cycle" in out
+
+    def test_probe_with_knobs(self, capsys):
+        rc = main(["probe", "--max-vl", "8", "--extra-latency", "100",
+                   "--bandwidth", "8"])
+        assert rc == 0
+        assert "max VL=8" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Unit tests for measurement containers."""
+
+import pytest
+
+from repro.core.measurements import Measurement, SweepResult
+
+
+def meas(impl, lat=0, bpc=64, cycles=100.0):
+    return Measurement(kernel="k", impl=impl, extra_latency=lat,
+                       bandwidth_bpc=bpc, cycles=cycles)
+
+
+class TestMeasurement:
+    def test_scalar_properties(self):
+        m = meas("scalar")
+        assert m.is_scalar and m.vl is None
+
+    def test_vector_properties(self):
+        m = meas("vl128")
+        assert not m.is_scalar and m.vl == 128
+
+
+class TestSweepResult:
+    @pytest.fixture
+    def sweep(self):
+        r = SweepResult(kernel="k", axis="latency", points=[0, 32],
+                        impls=["scalar", "vl8"])
+        r.add(meas("scalar", lat=0, cycles=100))
+        r.add(meas("scalar", lat=32, cycles=150))
+        r.add(meas("vl8", lat=0, cycles=50))
+        r.add(meas("vl8", lat=32, cycles=60))
+        return r
+
+    def test_cycles_lookup(self, sweep):
+        assert sweep.cycles("scalar", 32) == 150
+
+    def test_missing_lookup(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.cycles("vl256", 0)
+
+    def test_series(self, sweep):
+        assert sweep.series("scalar") == [100, 150]
+
+    def test_normalized_series(self, sweep):
+        assert sweep.normalized_series("scalar", baseline_point=0) == [1.0, 1.5]
+        assert sweep.normalized_series("vl8", baseline_point=0) == [1.0, 1.2]
+
+    def test_bandwidth_axis_keying(self):
+        r = SweepResult(kernel="k", axis="bandwidth", points=[1, 64],
+                        impls=["scalar"])
+        r.add(meas("scalar", bpc=1, cycles=1000))
+        r.add(meas("scalar", bpc=64, cycles=10))
+        assert r.cycles("scalar", 1) == 1000
+        assert r.cycles("scalar", 64) == 10
+
+    def test_csv_shape(self, sweep):
+        lines = sweep.to_csv().strip().splitlines()
+        assert lines[0] == "latency,scalar,vl8"
+        assert len(lines) == 3
+        assert lines[1].startswith("0,100.0,50.0")
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip(self):
+        r = SweepResult(kernel="k", axis="latency", points=[0, 32],
+                        impls=["scalar", "vl8"])
+        r.add(meas("scalar", lat=0, cycles=100))
+        r.add(meas("scalar", lat=32, cycles=150))
+        r.add(meas("vl8", lat=0, cycles=50))
+        r.add(meas("vl8", lat=32, cycles=60))
+        back = SweepResult.from_json(r.to_json())
+        assert back.kernel == "k"
+        assert back.points == r.points
+        for impl in r.impls:
+            assert back.series(impl) == r.series(impl)
+
+    def test_bandwidth_axis_keys(self):
+        r = SweepResult(kernel="k", axis="bandwidth", points=[1, 64],
+                        impls=["vl8"])
+        r.add(meas("vl8", bpc=1, cycles=10))
+        r.add(meas("vl8", bpc=64, cycles=5))
+        back = SweepResult.from_json(r.to_json())
+        assert back.cycles("vl8", 64) == 5
+
+    def test_schema_checked(self):
+        import json
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            SweepResult.from_json(json.dumps({"schema": "other/9"}))
+
+    def test_real_sweep_roundtrips(self):
+        from repro.core.sweeps import latency_sweep
+        from repro.kernels import KERNELS
+        from repro.workloads import get_scale
+        spec = KERNELS["fft"]
+        wl = spec.prepare(get_scale("smoke"), 3)
+        r = latency_sweep(spec, wl, latencies=(0, 64), vls=(8,))
+        back = SweepResult.from_json(r.to_json())
+        from repro.core.figures import figure4_table
+        assert figure4_table(back) == figure4_table(r)

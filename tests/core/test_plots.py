@@ -1,0 +1,102 @@
+"""Tests for the terminal plot renderer."""
+
+import pytest
+
+from repro.core.measurements import Measurement, SweepResult
+from repro.core.plots import ascii_plot, plot_figure3, plot_figure5, \
+    series_style
+from repro.errors import ReproError
+
+
+def sweep(axis="latency", points=(0, 32, 1024)):
+    impls = ["scalar", "vl8", "vl256"]
+    r = SweepResult(kernel="k", axis=axis, points=list(points), impls=impls)
+    for impl_i, impl in enumerate(impls):
+        for p_i, p in enumerate(points):
+            cycles = 100.0 * (impl_i + 1) * (p_i + 1)
+            r.add(Measurement(
+                kernel="k", impl=impl,
+                extra_latency=p if axis == "latency" else 0,
+                bandwidth_bpc=p if axis == "bandwidth" else 64,
+                cycles=cycles))
+    return r
+
+
+class TestAsciiPlot:
+    def test_dimensions(self):
+        out = ascii_plot([0, 1, 2], {"a": [1.0, 2.0, 3.0]},
+                         width=40, height=8)
+        rows = out.splitlines()
+        # height rows + axis + x labels + legend
+        assert len(rows) == 8 + 3
+        assert all("|" in r for r in rows[:8])
+
+    def test_title_and_labels(self):
+        out = ascii_plot([0, 1], {"a": [1.0, 2.0]}, title="T", ylabel="y")
+        assert out.splitlines()[0] == "T"
+        assert "y" in out
+
+    def test_markers_assigned_per_series(self):
+        out = ascii_plot([0, 1], {"scalar": [1.0, 2.0], "vl8": [2.0, 4.0]})
+        assert "*=scalar" in out
+        assert "o=vl8" in out
+
+    def test_color_mode_emits_ansi(self):
+        out = ascii_plot([0, 1], {"scalar": [1.0, 2.0]}, color=True)
+        assert "\x1b[38;5;33m" in out  # scalar is blue, as in the paper
+
+    def test_extreme_points_plotted(self):
+        out = ascii_plot([0, 1], {"a": [1.0, 100.0]}, width=10, height=5)
+        rows = [r.split("|", 1)[1] for r in out.splitlines()[:5]]
+        assert rows[0].rstrip().endswith("o")   # max at top right
+        assert rows[-1].lstrip().startswith("o")  # min at bottom left
+
+    def test_logy_handles_decades(self):
+        out = ascii_plot([0, 1, 2], {"a": [1.0, 100.0, 10000.0]}, logy=True)
+        assert "1e+04" in out or "10000" in out or "1e4" in out.lower()
+
+    def test_rejects_short_axis(self):
+        with pytest.raises(ReproError):
+            ascii_plot([0], {"a": [1.0]})
+
+    def test_rejects_ragged_series(self):
+        with pytest.raises(ReproError):
+            ascii_plot([0, 1], {"a": [1.0]})
+
+
+class TestStyles:
+    def test_scalar_is_blue_vectors_red_gradient(self):
+        styles = series_style(["scalar", "vl8", "vl64", "vl256"])
+        assert styles["scalar"][0] == "\x1b[38;5;33m"
+        reds = [styles[i][0] for i in ("vl8", "vl64", "vl256")]
+        assert len(set(reds)) == 3  # distinct ramp steps
+        assert all(c != styles["scalar"][0] for c in reds)
+
+    def test_single_vl(self):
+        styles = series_style(["vl256"])
+        assert styles["vl256"][0].startswith("\x1b[38;5;")
+
+
+class TestFigureWrappers:
+    def test_plot_figure3(self):
+        out = plot_figure3(sweep("latency"))
+        assert "Figure 3" in out and "kcyc" in out
+
+    def test_plot_figure5(self):
+        out = plot_figure5(sweep("bandwidth", points=(1, 8, 64)))
+        assert "Figure 5" in out and "t/t1" in out
+
+    def test_axis_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            plot_figure3(sweep("bandwidth", points=(1, 8, 64)))
+
+    def test_end_to_end_plot_from_real_sweep(self):
+        from repro.core.sweeps import latency_sweep
+        from repro.kernels import KERNELS
+        from repro.workloads import get_scale
+        spec = KERNELS["fft"]
+        wl = spec.prepare(get_scale("smoke"), 3)
+        result = latency_sweep(spec, wl, latencies=(0, 128, 1024),
+                               vls=(8, 256))
+        out = plot_figure3(result, color=True)
+        assert "scalar" in out and "vl256" in out

@@ -1,0 +1,56 @@
+"""Tests for the whole-study report generator."""
+
+import pytest
+
+from repro.core.suite import SuiteResult, render_report, run_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(scale_name="smoke", vls=(8, 256), kernels=["spmv",
+                                                                "fft"])
+
+
+class TestRunSuite:
+    def test_covers_requested_kernels(self, suite):
+        assert set(suite.latency) == {"spmv", "fft"}
+        assert set(suite.bandwidth) == {"spmv", "fft"}
+
+    def test_sweep_grids_complete(self, suite):
+        from repro.core.sweeps import DEFAULT_BANDWIDTHS, DEFAULT_LATENCIES
+        assert suite.latency["spmv"].points == list(DEFAULT_LATENCIES)
+        assert suite.bandwidth["fft"].points == list(DEFAULT_BANDWIDTHS)
+
+    def test_elapsed_recorded(self, suite):
+        assert suite.elapsed_s > 0
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self, suite):
+        text = render_report(suite)
+        for heading in ("# FPGA-SDV study report", "## Machine",
+                        "## Headline numbers", "## Figure 3", "## Figure 4",
+                        "## Figure 5", "## Plateau summary", "## Roofline",
+                        "## Conclusions checked"):
+            assert heading in text, heading
+
+    def test_quotes_paper_values(self, suite):
+        text = render_report(suite)
+        assert "8.78x" in text  # the paper column of the headline table
+
+    def test_skips_headline_without_spmv(self):
+        s = run_suite(scale_name="smoke", vls=(8,), kernels=["fft"])
+        text = render_report(s)
+        assert "Headline numbers" not in text
+        assert "Figure 3" in text
+
+
+class TestCliReport:
+    def test_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "r.md"
+        rc = main(["report", "--kernel", "fft", "--scale", "smoke",
+                   "--vls", "8", "--output", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "Figure 5" in out.read_text()

@@ -1,0 +1,83 @@
+"""Unit tests for the scalar-core cost model."""
+
+import pytest
+
+from repro.config import CoreConfig, MemConfig, SdvConfig
+from repro.engine.core_model import scalar_block_time
+from repro.trace.events import MLP_UNBOUNDED
+
+
+def cfg(**mem_kwargs):
+    return SdvConfig(mem=MemConfig(**mem_kwargs)).validate()
+
+
+class TestIssue:
+    def test_issue_width_divides(self):
+        bt = scalar_block_time(cfg(), n_alu=10, n_mem=10, l2_hits=0,
+                               dram_reads=0, dram_writes=0,
+                               mlp_hint=MLP_UNBOUNDED)
+        assert bt.issue == 10.0  # (10+10)/2
+        assert bt.total == 10.0
+
+    def test_alu_cpi_scales(self):
+        config = SdvConfig(core=CoreConfig(alu_cpi=2.0)).validate()
+        bt = scalar_block_time(config, n_alu=10, n_mem=0, l2_hits=0,
+                               dram_reads=0, dram_writes=0, mlp_hint=1)
+        assert bt.issue == 10.0
+
+
+class TestStalls:
+    def test_dram_stall_divided_by_mlp(self):
+        config = cfg()
+        p = config.core.mshrs
+        bt = scalar_block_time(config, n_alu=0, n_mem=p, l2_hits=0,
+                               dram_reads=p, dram_writes=0,
+                               mlp_hint=MLP_UNBOUNDED)
+        assert bt.stall_dram == pytest.approx(config.dram_latency)
+
+    def test_mlp_hint_caps_parallelism(self):
+        config = cfg()
+        bt = scalar_block_time(config, n_alu=0, n_mem=4, l2_hits=0,
+                               dram_reads=4, dram_writes=0, mlp_hint=1)
+        assert bt.stall_dram == pytest.approx(4 * config.dram_latency)
+
+    def test_extra_latency_raises_stall_linearly(self):
+        base = scalar_block_time(cfg(), n_alu=0, n_mem=8, l2_hits=0,
+                                 dram_reads=8, dram_writes=0, mlp_hint=8)
+        plus = scalar_block_time(cfg(extra_latency_cycles=100), n_alu=0,
+                                 n_mem=8, l2_hits=0, dram_reads=8,
+                                 dram_writes=0, mlp_hint=8)
+        # 8 misses at MLP min(8, mshrs=4)=4 -> 2 serialized groups
+        assert plus.stall_dram - base.stall_dram == pytest.approx(200.0)
+
+    def test_l2_hits_cheaper_than_dram(self):
+        l2 = scalar_block_time(cfg(), n_alu=0, n_mem=4, l2_hits=4,
+                               dram_reads=0, dram_writes=0, mlp_hint=4)
+        dram = scalar_block_time(cfg(), n_alu=0, n_mem=4, l2_hits=0,
+                                 dram_reads=4, dram_writes=0, mlp_hint=4)
+        assert l2.stall < dram.stall
+
+    def test_total_is_issue_plus_stall(self):
+        bt = scalar_block_time(cfg(), n_alu=10, n_mem=2, l2_hits=0,
+                               dram_reads=2, dram_writes=0, mlp_hint=2)
+        assert bt.total == pytest.approx(bt.issue + bt.stall)
+
+
+class TestBandwidthFloor:
+    def test_floor_counts_reads_and_writes(self):
+        config = cfg(bw_num=1, bw_den=8)
+        bt = scalar_block_time(config, n_alu=0, n_mem=10, l2_hits=0,
+                               dram_reads=6, dram_writes=4, mlp_hint=64)
+        assert bt.bw_floor == pytest.approx(10 * 8)
+
+    def test_floor_dominates_when_throttled_hard(self):
+        config = cfg(bw_num=1, bw_den=64)
+        bt = scalar_block_time(config, n_alu=0, n_mem=100, l2_hits=0,
+                               dram_reads=100, dram_writes=0,
+                               mlp_hint=MLP_UNBOUNDED)
+        assert bt.total == bt.bw_floor
+
+    def test_peak_bandwidth_floor_is_one_per_cycle(self):
+        bt = scalar_block_time(cfg(), n_alu=0, n_mem=10, l2_hits=0,
+                               dram_reads=10, dram_writes=0, mlp_hint=1)
+        assert bt.bw_floor == 10.0

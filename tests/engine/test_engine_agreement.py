@@ -1,0 +1,129 @@
+"""Cross-validation: the fast analytical engine against the discrete-event
+reference.
+
+The two engines share cost models but differ in queueing fidelity, so exact
+equality is not expected; the tests pin (a) a quantitative envelope on small
+real programs and (b) identical *qualitative* behaviour — the orderings the
+paper's conclusions rest on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SdvConfig
+from repro.engine.event_sim import simulate_events
+from repro.engine.fast_sim import simulate_fast
+from repro.isa import ScalarContext, VectorContext
+from repro.memory.address_space import MemoryImage
+from repro.memory.classify import classify_trace
+from repro.trace.events import TraceBuffer
+
+#: relative envelope between engines on mixed small programs
+TOLERANCE = 0.5
+
+
+def build_trace(build, max_vl=256):
+    mem = MemoryImage(1 << 22)
+    trace = TraceBuffer()
+    vec = VectorContext(mem, trace, max_vl=max_vl)
+    scl = ScalarContext(mem, trace)
+    build(mem, scl, vec)
+    scl.flush()
+    return trace.seal()
+
+
+def both(trace, config=None):
+    config = (config or SdvConfig()).validate()
+    ct = classify_trace(trace, config)
+    return simulate_fast(ct).cycles, simulate_events(ct).cycles
+
+
+def _axpy(mem, scl, vec):
+    a = mem.alloc("x", np.arange(4096, dtype=np.float64))
+    b = mem.alloc("y", np.arange(4096, dtype=np.float64))
+    i, n = 0, 4096
+    while i < n:
+        vl = vec.vsetvl(n - i)
+        xv = vec.vle(a, i)
+        yv = vec.vle(b, i)
+        yv = vec.vfmacc(yv, xv, 3.0)
+        vec.vse(yv, b, i)
+        i += vl
+
+
+def _gather(mem, scl, vec):
+    rng = np.random.default_rng(1)
+    a = mem.alloc("x", rng.random(1 << 13))
+    idx = mem.alloc("idx", rng.integers(0, 1 << 13, 2048))
+    i, n = 0, 2048
+    while i < n:
+        vl = vec.vsetvl(n - i)
+        iv = vec.vle(idx, i)
+        vec.vlxe(a, iv)
+        i += vl
+
+
+def _scalar_walk(mem, scl, vec):
+    rng = np.random.default_rng(2)
+    a = mem.alloc("x", rng.random(1 << 13))
+    idx = rng.integers(0, 1 << 13, 2048)
+    scl.emit_block(a.addr(idx), False, 4 * 2048)
+
+
+PROGRAMS = {"axpy": _axpy, "gather": _gather, "scalar": _scalar_walk}
+
+
+class TestQuantitativeEnvelope:
+    @pytest.mark.parametrize("name", list(PROGRAMS))
+    def test_engines_agree_at_default_knobs(self, name):
+        trace = build_trace(PROGRAMS[name])
+        fast, event = both(trace)
+        assert fast == pytest.approx(event, rel=TOLERANCE), (fast, event)
+
+    @pytest.mark.parametrize("name", list(PROGRAMS))
+    def test_engines_agree_under_latency(self, name):
+        trace = build_trace(PROGRAMS[name])
+        fast, event = both(trace, SdvConfig().with_extra_latency(512))
+        assert fast == pytest.approx(event, rel=TOLERANCE), (fast, event)
+
+    @pytest.mark.parametrize("name", list(PROGRAMS))
+    def test_engines_agree_under_throttling(self, name):
+        trace = build_trace(PROGRAMS[name])
+        fast, event = both(trace, SdvConfig().with_bandwidth(4))
+        assert fast == pytest.approx(event, rel=TOLERANCE), (fast, event)
+
+
+class TestQualitativeAgreement:
+    def test_latency_slope_ordering_matches(self):
+        """Both engines must rank VL=256 as more latency-tolerant than VL=8."""
+        def slope(engine_fn, max_vl):
+            trace = build_trace(_gather, max_vl=max_vl)
+            base_cfg = SdvConfig().validate()
+            slow_cfg = SdvConfig().with_extra_latency(1024)
+            t0 = engine_fn(classify_trace(trace, base_cfg)).cycles
+            t1 = engine_fn(classify_trace(trace, slow_cfg)).cycles
+            return t1 / t0
+
+        assert slope(simulate_fast, 256) < slope(simulate_fast, 8)
+        assert slope(simulate_events, 256) < slope(simulate_events, 8)
+
+    def test_bandwidth_benefit_ordering_matches(self):
+        """Both engines: VL=256 gains more from 64 B/c than VL=8 does."""
+        def gain(engine_fn, max_vl):
+            trace = build_trace(_axpy, max_vl=max_vl)
+            t_lo = engine_fn(
+                classify_trace(trace, SdvConfig().with_bandwidth(1))).cycles
+            t_hi = engine_fn(
+                classify_trace(trace, SdvConfig().with_bandwidth(64))).cycles
+            return t_lo / t_hi
+
+        assert gain(simulate_fast, 256) > gain(simulate_fast, 8)
+        assert gain(simulate_events, 256) > gain(simulate_events, 8)
+
+    def test_dram_accounting_identical(self):
+        trace = build_trace(_axpy)
+        ct = classify_trace(trace, SdvConfig().validate())
+        fast = simulate_fast(ct)
+        event = simulate_events(ct)
+        assert fast.dram_reads == event.dram_reads
+        assert fast.dram_writes == event.dram_writes

@@ -1,0 +1,99 @@
+"""Property-based cross-validation: random programs through both engines.
+
+Hypothesis generates small random vector programs (strips of loads, stores,
+gathers, arithmetic, reductions with random VLs); for every generated
+program, the fast and event engines must stay within the agreement envelope
+and produce identical DRAM accounting — a much broader net than the
+hand-written agreement cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import SdvConfig
+from repro.engine.event_sim import simulate_events
+from repro.engine.fast_sim import simulate_fast
+from repro.isa import ScalarContext, VectorContext
+from repro.memory.address_space import MemoryImage
+from repro.memory.classify import classify_trace
+from repro.trace.events import TraceBuffer
+
+N_DATA = 1 << 12
+
+
+@st.composite
+def programs(draw):
+    """A list of (op, params) steps for the interpreter below."""
+    n_steps = draw(st.integers(2, 14))
+    steps = []
+    for _ in range(n_steps):
+        op = draw(st.sampled_from(
+            ["load", "store", "gather", "arith_chain", "reduce", "scalar",
+             "barrier"]))
+        params = {
+            "off": draw(st.integers(0, N_DATA - 512)),
+            "avl": draw(st.sampled_from([5, 8, 17, 64, 200, 256])),
+            "chain": draw(st.integers(1, 4)),
+        }
+        steps.append((op, params))
+    return steps
+
+
+def build_trace(steps, seed):
+    rng = np.random.default_rng(seed)
+    mem = MemoryImage(1 << 22)
+    trace = TraceBuffer()
+    vec = VectorContext(mem, trace, max_vl=256)
+    scl = ScalarContext(mem, trace)
+    data = mem.alloc("data", rng.random(N_DATA))
+    out = mem.alloc("out", N_DATA, np.float64)
+    idx = mem.alloc("idx", rng.integers(0, N_DATA, N_DATA))
+
+    last = None
+    for op, p in steps:
+        vl = vec.vsetvl(p["avl"])
+        if op == "load":
+            last = vec.vle(data, p["off"])
+        elif op == "store":
+            v = last if last is not None and last.vl == vl else vec.vfmv(1.0)
+            vec.vse(v, out, p["off"])
+        elif op == "gather":
+            iv = vec.vle(idx, p["off"])
+            last = vec.vlxe(data, iv)
+        elif op == "arith_chain":
+            v = last if last is not None and last.vl == vl else vec.vfmv(2.0)
+            for _ in range(p["chain"]):
+                v = vec.vfadd(v, 1.0)
+            last = v
+        elif op == "reduce":
+            v = last if last is not None and last.vl == vl else vec.vfmv(3.0)
+            vec.vfredsum(v)
+        elif op == "scalar":
+            addr_idx = rng.integers(0, N_DATA, 64)
+            scl.emit_block(data.addr(addr_idx), False, 128)
+        elif op == "barrier":
+            scl.barrier()
+        if last is not None and last.vl != vec.vl:
+            last = None
+    scl.flush()
+    return trace.seal()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs(), st.integers(0, 2 ** 31),
+       st.sampled_from([(0, 64), (512, 64), (0, 4), (1024, 1)]))
+def test_property_engines_agree_on_random_programs(steps, seed, knobs):
+    extra_latency, bpc = knobs
+    trace = build_trace(steps, seed)
+    config = (SdvConfig().with_extra_latency(extra_latency)
+              .with_bandwidth(bpc))
+    ct = classify_trace(trace, config)
+    fast = simulate_fast(ct)
+    event = simulate_events(ct)
+    assert fast.dram_reads == event.dram_reads
+    assert fast.dram_writes == event.dram_writes
+    assert fast.cycles == pytest.approx(event.cycles, rel=0.6), (
+        fast.cycles, event.cycles)
+    assert fast.cycles > 0 and event.cycles > 0

@@ -1,0 +1,122 @@
+"""Detailed behavioural tests of the event engine's queueing components."""
+
+import numpy as np
+import pytest
+
+from repro.config import SdvConfig, VpuConfig
+from repro.engine.event_sim import simulate_events
+from repro.isa import ScalarContext, VectorContext
+from repro.memory.address_space import MemoryImage
+from repro.memory.classify import classify_trace
+from repro.trace.events import TraceBuffer
+
+
+def run(build, config=None, max_vl=256):
+    config = (config or SdvConfig()).validate()
+    mem = MemoryImage(1 << 22)
+    trace = TraceBuffer()
+    vec = VectorContext(mem, trace, max_vl=max_vl)
+    scl = ScalarContext(mem, trace)
+    build(mem, scl, vec)
+    scl.flush()
+    return simulate_events(classify_trace(trace.seal(), config))
+
+
+class TestLineMshrs:
+    def _big_stream(self, mem, scl, vec):
+        a = mem.alloc("x", np.arange(1 << 13, dtype=np.float64))
+        i, n = 0, 1 << 13
+        while i < n:
+            vl = vec.vsetvl(n - i)
+            vec.vle(a, i)
+            i += vl
+
+    def test_small_pool_throttles_under_latency(self):
+        few = SdvConfig(vpu=VpuConfig(line_mshrs=4)).with_extra_latency(512)
+        many = SdvConfig(vpu=VpuConfig(line_mshrs=256)).with_extra_latency(512)
+        assert run(self._big_stream, few).cycles > run(self._big_stream,
+                                                       many).cycles
+
+    def test_pool_irrelevant_at_low_latency(self):
+        # at the base ~50-cycle latency, 64 MSHRs already sustain the full
+        # line rate, so quadrupling the pool changes nothing much
+        few = SdvConfig(vpu=VpuConfig(line_mshrs=64)).validate()
+        many = SdvConfig(vpu=VpuConfig(line_mshrs=256)).validate()
+        a = run(self._big_stream, few).cycles
+        b = run(self._big_stream, many).cycles
+        assert a == pytest.approx(b, rel=0.35)
+
+
+class TestOooIssue:
+    def _dependent_gather(self, mem, scl, vec):
+        rng = np.random.default_rng(0)
+        a = mem.alloc("x", rng.random(1 << 12))
+        idx = mem.alloc("idx", rng.integers(0, 1 << 12, 1024))
+        i, n = 0, 1024
+        while i < n:
+            vl = vec.vsetvl(n - i)
+            iv = vec.vle(idx, i)
+            vec.vlxe(a, iv)
+            i += vl
+
+    def test_ooo_beats_in_order_on_gather_chains(self):
+        ooo = SdvConfig(vpu=VpuConfig(ooo_mem_issue=True)
+                        ).with_extra_latency(256)
+        ino = SdvConfig(vpu=VpuConfig(ooo_mem_issue=False)
+                        ).with_extra_latency(256)
+        t_ooo = run(self._dependent_gather, ooo, max_vl=8).cycles
+        t_ino = run(self._dependent_gather, ino, max_vl=8).cycles
+        assert t_ooo < t_ino
+
+
+class TestBankContention:
+    def test_single_bank_hotspot_slower_than_spread(self):
+        """All requests to one bank serialize on its port."""
+        def hotspot(mem, scl, vec):
+            # stride of 4 lines = always the same bank (4-bank interleave)
+            a = mem.alloc("x", np.arange(1 << 14, dtype=np.float64))
+            for _warm in range(2):  # second pass is all L2 hits
+                vec.vsetvl(256)
+                for rep in range(8):
+                    vec.vlse(a, rep, 32)  # 32 doubles = 4 lines apart
+
+        def spread(mem, scl, vec):
+            a = mem.alloc("x", np.arange(1 << 14, dtype=np.float64))
+            for _warm in range(2):
+                vec.vsetvl(256)
+                for rep in range(8):
+                    vec.vle(a, rep * 256)
+
+        cfg = SdvConfig().validate()
+        assert run(hotspot, cfg).cycles > run(spread, cfg).cycles
+
+
+class TestBarrierDrain:
+    def test_barrier_waits_for_outstanding_loads(self):
+        def with_barrier(mem, scl, vec):
+            a = mem.alloc("x", np.arange(256, dtype=np.float64))
+            vec.vsetvl(256)
+            vec.vle(a)
+            scl.barrier("drain")
+            scl.emit_alu(2)
+
+        cfg = SdvConfig().with_extra_latency(500)
+        r = run(with_barrier, cfg)
+        # the trailing ALU work cannot start before the load's ~550-cycle
+        # round trip has drained
+        assert r.cycles > 500
+
+
+class TestScalarDestSync:
+    def test_vpopc_result_blocks_scalar_progress(self):
+        def build(mem, scl, vec):
+            a = mem.alloc("x", np.arange(256, dtype=np.int64))
+            vec.vsetvl(256)
+            v = vec.vle(a)
+            m = vec.vmsgt(v, 5)
+            vec.vpopc(m)           # scalar core must wait for this
+            scl.emit_alu(2)
+
+        cfg = SdvConfig().with_extra_latency(400)
+        r = run(build, cfg)
+        assert r.cycles > 400

@@ -1,0 +1,34 @@
+"""Tests for the CycleReport container."""
+
+import pytest
+
+from repro.engine.results import CycleReport
+
+
+class TestCycleReport:
+    def test_dram_accounting(self):
+        r = CycleReport(cycles=100.0, dram_reads=3, dram_writes=2)
+        assert r.dram_transactions == 5
+        assert r.dram_bytes == 5 * 64
+
+    def test_achieved_bandwidth(self):
+        r = CycleReport(cycles=64.0, dram_reads=2, dram_writes=0)
+        assert r.achieved_bytes_per_cycle == pytest.approx(2.0)
+
+    def test_zero_cycles_safe(self):
+        r = CycleReport(cycles=0.0)
+        assert r.achieved_bytes_per_cycle == 0.0
+
+    def test_summary_contains_components(self):
+        r = CycleReport(cycles=12345.0, engine="fast",
+                        scalar_issue_cycles=10.0,
+                        vpu_mem_cycles=20.0, dram_reads=7)
+        s = r.summary()
+        assert "fast" in s and "12.3 kcyc" in s
+        assert "DRAM 7 txns" in s
+
+    def test_meta_dict_defaults_independent(self):
+        a = CycleReport(cycles=1.0)
+        b = CycleReport(cycles=2.0)
+        a.meta["x"] = 1
+        assert "x" not in b.meta

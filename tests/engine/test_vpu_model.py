@@ -1,0 +1,126 @@
+"""Unit tests for the VPU cost model."""
+
+import pytest
+
+from repro.config import SdvConfig, VpuConfig
+from repro.engine.vpu_model import (
+    HEAVY_CPE,
+    arith_latency,
+    arith_occupancy,
+    vmem_cost,
+)
+from repro.trace.events import VMemPattern, VOpClass
+
+
+def cfg(**vpu_kwargs):
+    return SdvConfig(vpu=VpuConfig(**vpu_kwargs)).validate()
+
+
+class TestArithOccupancy:
+    def test_scales_with_vl_over_lanes(self):
+        c = cfg(lanes=8)
+        assert arith_occupancy(c, VOpClass.ARITH, 8) == 1
+        assert arith_occupancy(c, VOpClass.ARITH, 256) == 32
+
+    def test_partial_group_rounds_up(self):
+        c = cfg(lanes=8)
+        assert arith_occupancy(c, VOpClass.ARITH, 9) == 2
+
+    def test_heavy_multiplier(self):
+        c = cfg(lanes=8)
+        assert arith_occupancy(c, VOpClass.ARITH_HEAVY, 8) == HEAVY_CPE
+
+    def test_reduce_has_tree_overhead(self):
+        c = cfg(lanes=8)
+        assert (arith_occupancy(c, VOpClass.REDUCE, 8)
+                > arith_occupancy(c, VOpClass.ARITH, 8))
+
+    def test_permute_is_two_passes(self):
+        c = cfg(lanes=8)
+        assert arith_occupancy(c, VOpClass.PERMUTE, 64) == 16
+
+    def test_mask_ops_cheap(self):
+        c = cfg(lanes=8)
+        assert arith_occupancy(c, VOpClass.MASK, 256) <= 4
+
+    def test_mem_class_rejected(self):
+        with pytest.raises(ValueError):
+            arith_occupancy(cfg(), VOpClass.MEM, 8)
+
+    def test_more_lanes_less_occupancy(self):
+        assert (arith_occupancy(cfg(lanes=16), VOpClass.ARITH, 256)
+                < arith_occupancy(cfg(lanes=8), VOpClass.ARITH, 256))
+
+    def test_latency_includes_startup(self):
+        assert arith_latency(cfg(startup_cycles=3)) > 3
+
+
+class TestVmemCost:
+    def test_unit_stride_addr_rate(self):
+        c = cfg(stride_issue_per_cycle=1)
+        cost = vmem_cost(c, pattern=VMemPattern.UNIT, vl=256, active=256,
+                         n_lines=32, dram_reads=0, dram_writes=0)
+        assert cost.addr_cycles == 32.0
+
+    def test_gather_addr_rate_per_element(self):
+        c = cfg(gather_issue_per_cycle=2)
+        cost = vmem_cost(c, pattern=VMemPattern.INDEXED, vl=256, active=256,
+                         n_lines=100, dram_reads=0, dram_writes=0)
+        assert cost.addr_cycles == 128.0
+
+    def test_masked_gather_uses_active(self):
+        c = cfg(gather_issue_per_cycle=2)
+        cost = vmem_cost(c, pattern=VMemPattern.INDEXED, vl=256, active=10,
+                         n_lines=10, dram_reads=0, dram_writes=0)
+        assert cost.addr_cycles == 5.0
+
+    def test_first_latency_is_worst_touched_level(self):
+        c = cfg()
+        l2_only = vmem_cost(c, pattern=VMemPattern.UNIT, vl=8, active=8,
+                            n_lines=1, dram_reads=0, dram_writes=0)
+        dram = vmem_cost(c, pattern=VMemPattern.UNIT, vl=8, active=8,
+                         n_lines=1, dram_reads=1, dram_writes=0)
+        assert l2_only.first_latency == c.l2_hit_latency
+        assert dram.first_latency == c.dram_latency
+
+    def test_empty_instruction(self):
+        cost = vmem_cost(cfg(), pattern=VMemPattern.UNIT, vl=0, active=0,
+                         n_lines=0, dram_reads=0, dram_writes=0)
+        assert cost.first_latency == 0.0
+        assert cost.service_cycles == 0.0
+
+    def test_bandwidth_stretches_service(self):
+        throttled = SdvConfig().with_bandwidth(8)   # 1 line / 8 cycles
+        cost = vmem_cost(throttled, pattern=VMemPattern.UNIT, vl=256,
+                         active=256, n_lines=32, dram_reads=32,
+                         dram_writes=0)
+        assert cost.service_cycles == pytest.approx(32 * 8)
+
+    def test_l2_resident_service_unthrottled(self):
+        throttled = SdvConfig().with_bandwidth(1)
+        cost = vmem_cost(throttled, pattern=VMemPattern.UNIT, vl=256,
+                         active=256, n_lines=32, dram_reads=0,
+                         dram_writes=0)
+        assert cost.service_cycles == 32.0  # L2 hits bypass the limiter
+
+    def test_extra_latency_in_first_latency(self):
+        c = SdvConfig().with_extra_latency(500)
+        cost = vmem_cost(c, pattern=VMemPattern.UNIT, vl=8, active=8,
+                         n_lines=1, dram_reads=1, dram_writes=0)
+        assert cost.first_latency == pytest.approx(c.dram_latency)
+        assert cost.first_latency > 500
+
+    def test_completion_after_start(self):
+        cost = vmem_cost(cfg(), pattern=VMemPattern.UNIT, vl=64, active=64,
+                         n_lines=8, dram_reads=8, dram_writes=0)
+        assert cost.completion_after_start == pytest.approx(
+            cost.first_latency + max(cost.addr_cycles, cost.service_cycles)
+        )
+
+    def test_writebacks_consume_channel(self):
+        c = SdvConfig().with_bandwidth(8)
+        without = vmem_cost(c, pattern=VMemPattern.UNIT, vl=64, active=64,
+                            n_lines=8, dram_reads=8, dram_writes=0)
+        with_wb = vmem_cost(c, pattern=VMemPattern.UNIT, vl=64, active=64,
+                            n_lines=8, dram_reads=8, dram_writes=4)
+        assert with_wb.service_cycles > without.service_cycles

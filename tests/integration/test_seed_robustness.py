@@ -1,0 +1,50 @@
+"""Seed robustness: the paper's qualitative shapes must not depend on the
+particular synthetic workload instance."""
+
+import pytest
+
+from repro.core.figures import figure4_table
+from repro.core.sweeps import bandwidth_sweep, latency_sweep
+from repro.kernels import KERNELS
+from repro.workloads import get_scale
+
+SCALE = get_scale("smoke")
+SEEDS = (3, 7, 2024)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("kernel", list(KERNELS))
+def test_latency_shape_across_seeds(kernel, seed):
+    spec = KERNELS[kernel]
+    wl = spec.prepare(SCALE, seed)
+    result = latency_sweep(spec, wl, latencies=(0, 1024), vls=(64, 256))
+    table = figure4_table(result)
+    # scalar degrades more than (or, at smoke sizes where compulsory
+    # misses dominate everything, within 10% of) the long vectors
+    assert table["scalar"][-1] > table["vl64"][-1] * 0.9
+    assert table["scalar"][-1] > table["vl256"][-1] * 0.9
+    # vl256 wins outright under latency pressure; at base the tiny smoke
+    # workloads leave it within strip-overhead distance of scalar
+    assert result.series("vl256")[1] < result.series("scalar")[1]
+    assert result.series("vl256")[0] < result.series("scalar")[0] * 1.3
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bandwidth_shape_across_seeds(seed):
+    spec = KERNELS["spmv"]
+    wl = spec.prepare(SCALE, seed)
+    result = bandwidth_sweep(spec, wl, bandwidths=(1, 8, 64), vls=(256,))
+    scalar = result.normalized_series("scalar", baseline_point=1)
+    vl256 = result.normalized_series("vl256", baseline_point=1)
+    # the long vectors extract at least as much from extra bandwidth
+    assert vl256[-1] <= scalar[-1] + 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_functional_correctness_across_seeds(seed):
+    for name, spec in KERNELS.items():
+        wl = spec.prepare(SCALE, seed)
+        ref = spec.reference(wl)
+        from repro.soc import FpgaSdv
+        out = spec.vector(FpgaSdv().session(), wl)
+        assert spec.check(out, ref), (name, seed)

@@ -1,0 +1,51 @@
+"""Exact-cycle regression pins.
+
+The simulator is deterministic, so these canonical runs must reproduce to
+the cycle. Any timing-model edit that moves them is either intentional
+(re-pin here and re-examine EXPERIMENTS.md, whose headline numbers derive
+from the same model) or a regression. Workloads are the 'smoke' scale with
+seed 7; pins were recorded with the calibrated v1.0 configuration.
+"""
+
+import pytest
+
+from repro.kernels import KERNELS
+from repro.soc import FpgaSdv
+from repro.workloads import get_scale
+
+#: (kernel, impl) -> (cycles at default knobs, cycles at +1024 latency)
+PINS = {
+    ("spmv", "scalar"): (33680.0, 367760.0),
+    ("spmv", "vl256"): (3914.0, 14290.5),
+    ("bfs", "scalar"): (8962.0, 80130.0),
+    ("bfs", "vl256"): (9750.0, 54847.953125),
+    ("pagerank", "scalar"): (10865.5, 100721.5),
+    ("pagerank", "vl256"): (2206.5, 13484.21875),
+    ("fft", "scalar"): (5663.0, 31263.0),
+    ("fft", "vl256"): (1758.0, 10102.5),
+}
+
+
+@pytest.mark.parametrize("kernel,impl", sorted(PINS))
+def test_pinned_cycles(kernel, impl):
+    spec = KERNELS[kernel]
+    workload = spec.prepare(get_scale("smoke"), 7)
+    sdv = FpgaSdv()
+    if impl != "scalar":
+        sdv.configure(max_vl=int(impl[2:]))
+    session = sdv.session()
+    spec.build("scalar" if impl == "scalar" else "vector")(session, workload)
+    trace = session.seal()
+
+    base_pin, plus_pin = PINS[(kernel, impl)]
+    assert sdv.time(trace).cycles == pytest.approx(base_pin, abs=0.51)
+    sdv.configure(extra_latency=1024)
+    assert sdv.time(trace).cycles == pytest.approx(plus_pin, abs=0.51)
+
+
+def test_pins_tell_the_papers_story():
+    """Even the pinned snapshot encodes the headline contrast."""
+    s0, s1 = PINS[("spmv", "scalar")]
+    v0, v1 = PINS[("spmv", "vl256")]
+    assert (s1 / s0) > 2 * (v1 / v0)   # scalar slowdown >> vl256 slowdown
+    assert v0 < s0                     # and vl256 is faster outright

@@ -1,0 +1,119 @@
+"""Unit tests for the CSR file (including the custom max-VL CSR)."""
+
+import pytest
+
+from repro.errors import IsaError, VectorLengthError
+from repro.isa.csr import CSR_CYCLE, CSR_MAXVL, CSR_VL, CSR_VTYPE, CsrFile
+
+
+class TestMaxVl:
+    def test_defaults_to_hardware_limit(self):
+        c = CsrFile(256)
+        assert c.hw_max_vl == 256
+        assert c.max_vl == 256
+
+    def test_lowering_at_runtime(self):
+        c = CsrFile(256)
+        c.write_max_vl(8)
+        assert c.max_vl == 8
+        assert c.hw_max_vl == 256  # silicon limit unchanged
+
+    def test_restore(self):
+        c = CsrFile(256)
+        c.write_max_vl(8)
+        c.write_max_vl(256)
+        assert c.max_vl == 256
+
+    def test_cannot_exceed_hardware(self):
+        c = CsrFile(256)
+        with pytest.raises(VectorLengthError):
+            c.write_max_vl(512)
+
+    def test_must_be_pow2(self):
+        c = CsrFile(256)
+        with pytest.raises(VectorLengthError):
+            c.write_max_vl(100)
+
+    def test_hw_limit_must_be_pow2(self):
+        with pytest.raises(VectorLengthError):
+            CsrFile(100)
+
+
+class TestVsetvl:
+    def test_grants_min_of_avl_and_vlmax(self):
+        c = CsrFile(256)
+        assert c.vsetvl(1000) == 256
+        assert c.vsetvl(100) == 100
+        assert c.vl == 100
+
+    def test_respects_lowered_max(self):
+        c = CsrFile(256)
+        c.write_max_vl(16)
+        assert c.vsetvl(1000) == 16
+
+    def test_sew_scaling(self):
+        c = CsrFile(256)
+        # VLMAX is defined in DP elements; SEW=32 doubles it
+        assert c.vsetvl(10_000, sew=32) == 512
+
+    def test_bad_sew(self):
+        with pytest.raises(IsaError):
+            CsrFile(256).vsetvl(10, sew=10)
+
+    def test_negative_avl(self):
+        with pytest.raises(IsaError):
+            CsrFile(256).vsetvl(-1)
+
+    def test_zero_avl(self):
+        assert CsrFile(256).vsetvl(0) == 0
+
+
+class TestReadWrite:
+    def test_read_registers(self):
+        c = CsrFile(256)
+        c.vsetvl(40)
+        assert c.read(CSR_VL) == 40
+        assert c.read(CSR_MAXVL) == 256
+        assert c.read(CSR_VTYPE) == 64 | (1 << 16)
+        assert c.read(CSR_CYCLE) == 0
+
+    def test_write_maxvl_via_address(self):
+        c = CsrFile(256)
+        c.write(CSR_MAXVL, 32)
+        assert c.max_vl == 32
+
+    def test_unknown_csr(self):
+        with pytest.raises(IsaError):
+            CsrFile(256).read(0x123)
+        with pytest.raises(IsaError):
+            CsrFile(256).write(CSR_VL, 1)
+
+
+class TestLmul:
+    def test_lmul_scales_vlmax(self):
+        c = CsrFile(256)
+        assert c.vsetvl(10_000, lmul=8) == 2048
+        assert c.lmul == 8
+
+    def test_lmul_composes_with_sew(self):
+        c = CsrFile(256)
+        assert c.vsetvl(10_000, sew=32, lmul=2) == 1024
+
+    def test_lmul_respects_lowered_max_vl(self):
+        c = CsrFile(256)
+        c.write_max_vl(8)
+        assert c.vsetvl(10_000, lmul=4) == 32
+
+    def test_default_lmul_one(self):
+        c = CsrFile(256)
+        c.vsetvl(100)
+        assert c.lmul == 1
+
+    def test_bad_lmul(self):
+        with pytest.raises(IsaError):
+            CsrFile(256).vsetvl(10, lmul=3)
+
+    def test_vtype_packs_lmul(self):
+        c = CsrFile(256)
+        c.vsetvl(10, lmul=4)
+        assert c.read(CSR_VTYPE) == 64 | (4 << 16)

@@ -1,0 +1,207 @@
+"""Tests for the RVV extension instructions: segment loads/stores,
+fault-only-first loads, and widening arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import VectorContext, VReg
+from repro.memory.address_space import MemoryImage
+from repro.trace.events import TraceBuffer, VMemPattern
+
+
+@pytest.fixture
+def env():
+    mem = MemoryImage(1 << 20)
+    trace = TraceBuffer()
+    return mem, trace, VectorContext(mem, trace, max_vl=16)
+
+
+class TestSegmentLoads:
+    def test_vlseg2_deinterleaves_complex(self, env):
+        mem, _, vec = env
+        inter = np.empty(32)
+        inter[0::2] = np.arange(16)          # re
+        inter[1::2] = 100 + np.arange(16)    # im
+        a = mem.alloc("z", inter)
+        vec.vsetvl(16)
+        re, im = vec.vlseg(a, 2)
+        assert (re.data == np.arange(16)).all()
+        assert (im.data == 100 + np.arange(16)).all()
+
+    def test_vlseg3_field_order(self, env):
+        mem, _, vec = env
+        data = np.arange(12, dtype=np.float64)   # 4 records of 3 fields
+        a = mem.alloc("rgb", data)
+        vec.vsetvl(4)
+        r, g, b = vec.vlseg(a, 3)
+        assert list(r.data) == [0, 3, 6, 9]
+        assert list(g.data) == [1, 4, 7, 10]
+        assert list(b.data) == [2, 5, 8, 11]
+
+    def test_vlseg_offset_in_records(self, env):
+        mem, _, vec = env
+        a = mem.alloc("z", np.arange(40, dtype=np.float64))
+        vec.vsetvl(4)
+        f0, f1 = vec.vlseg(a, 2, offset=3)
+        assert list(f0.data) == [6, 8, 10, 12]
+
+    def test_single_instruction_covers_all_fields(self, env):
+        mem, trace, vec = env
+        a = mem.alloc("z", np.arange(32, dtype=np.float64))
+        vec.vsetvl(16)
+        vec.vlseg(a, 2)
+        recs = [r for r in trace if getattr(r, "is_mem", False)]
+        assert len(recs) == 1
+        assert recs[0].active == 32          # vl*fields elements of traffic
+        assert recs[0].pattern is VMemPattern.UNIT
+
+    def test_bad_field_count(self, env):
+        mem, _, vec = env
+        a = mem.alloc("z", np.arange(32, dtype=np.float64))
+        vec.vsetvl(4)
+        with pytest.raises(IsaError):
+            vec.vlseg(a, 1)
+        with pytest.raises(IsaError):
+            vec.vlseg(a, 9)
+
+    def test_vsseg_roundtrip(self, env):
+        mem, _, vec = env
+        a = mem.alloc("z", 32, np.float64)
+        vec.vsetvl(16)
+        re = VReg(np.arange(16, dtype=np.float64))
+        im = VReg(np.arange(16, dtype=np.float64) + 100)
+        vec.vsseg([re, im], a)
+        back_re, back_im = vec.vlseg(a, 2)
+        assert (back_re.data == re.data).all()
+        assert (back_im.data == im.data).all()
+
+    def test_vsseg_dep_on_values(self, env):
+        mem, trace, vec = env
+        a = mem.alloc("z", 32, np.float64)
+        vec.vsetvl(16)
+        v1 = vec.vfmv(1.0)
+        v2 = vec.vfmv(2.0)
+        vec.vsseg([v1, v2], a)
+        assert trace[-1].dep == v2.src
+
+
+class TestFaultOnlyFirst:
+    def test_full_grant_when_in_bounds(self, env):
+        mem, _, vec = env
+        a = mem.alloc("x", np.arange(64, dtype=np.float64))
+        vec.vsetvl(16)
+        reg, granted = vec.vleff(a, 0)
+        assert granted == 16
+        assert (reg.data == np.arange(16)).all()
+
+    def test_truncates_at_allocation_end(self, env):
+        mem, _, vec = env
+        a = mem.alloc("x", np.arange(10, dtype=np.float64))
+        vec.vsetvl(16)
+        reg, granted = vec.vleff(a, 4)
+        assert granted == 6                 # elements 4..9 exist
+        assert vec.vl == 6                  # architectural vl updated
+        assert (reg.data == np.arange(4, 10)).all()
+
+    def test_first_element_fault_raises(self, env):
+        mem, _, vec = env
+        a = mem.alloc("x", np.arange(4, dtype=np.float64))
+        vec.vsetvl(8)
+        with pytest.raises(IsaError):
+            vec.vleff(a, 4)
+
+    def test_strlen_style_scan(self, env):
+        """The canonical vleff loop: walk until the data runs out."""
+        mem, _, vec = env
+        n = 37
+        a = mem.alloc("s", np.arange(n, dtype=np.int64))
+        seen = 0
+        off = 0
+        while off < n:
+            vec.vsetvl(16)
+            reg, granted = vec.vleff(a, off)
+            seen += granted
+            off += granted
+        assert seen == n
+
+
+class TestWidening:
+    def test_vwadd_semantics(self, env):
+        _, _, vec = env
+        vec.vsetvl(4)
+        a = VReg(np.array([1, 2, 3, 4], dtype=np.int64))
+        out = vec.vwadd(a, 10)
+        assert list(out.data) == [11, 12, 13, 14]
+
+    def test_vwmul_semantics(self, env):
+        _, _, vec = env
+        vec.vsetvl(3)
+        a = VReg(np.array([2, 3, 4], dtype=np.int64))
+        b = VReg(np.array([5, 6, 7], dtype=np.int64))
+        assert list(vec.vwmul(a, b).data) == [10, 18, 28]
+
+    def test_widening_costed_as_two_groups(self, env):
+        """Widening ops occupy two destination groups (PERMUTE class)."""
+        from repro.config import SdvConfig
+        from repro.engine.vpu_model import arith_occupancy
+        from repro.trace.events import VOpClass
+        _, trace, vec = env
+        vec.vsetvl(16)
+        a = VReg(np.zeros(16, dtype=np.int64))
+        vec.vwadd(a, 1)
+        rec = trace[-1]
+        assert rec.op is VOpClass.PERMUTE
+        cfg = SdvConfig().validate()
+        assert (arith_occupancy(cfg, rec.op, 16)
+                > arith_occupancy(cfg, VOpClass.ARITH, 16))
+
+
+class TestLmulKernels:
+    def test_lmul_strips_execute_correctly(self, env):
+        mem, _, vec = env  # max_vl=16
+        a = mem.alloc("x", np.arange(128, dtype=np.float64))
+        b = mem.alloc("y", 128, np.float64)
+        i, n = 0, 128
+        while i < n:
+            vl = vec.vsetvl(n - i, lmul=4)   # strips of up to 64
+            assert vl <= 64
+            vec.vse(vec.vfmul(vec.vle(a, i), 2.0), b, i)
+            i += vl
+        assert (b.view == 2.0 * a.view).all()
+
+    def test_lmul_reduces_instruction_count(self, env):
+        from repro.trace.stats import summarize_trace
+        mem, trace, vec = env
+        a = mem.alloc("x", np.arange(128, dtype=np.float64))
+        i = 0
+        while i < 128:
+            vl = vec.vsetvl(128 - i, lmul=8)
+            vec.vle(a, i)
+            i += vl
+        stats = summarize_trace(trace)
+        assert stats.vector_mem_instrs == 1  # one grouped load covers all
+
+    def test_lmul_speeds_up_latency_bound_short_vl(self):
+        """At max VL 8, LMUL=8 strips recover much of the long-vector
+        latency tolerance — the RVV antidote the paper's VPU supports."""
+        import numpy as np
+        from repro.soc import FpgaSdv
+
+        def stream(session, lmul):
+            mem, vec = session.mem, session.vector
+            a = mem.alloc("x", np.arange(1 << 13, dtype=np.float64))
+            i, n = 0, 1 << 13
+            while i < n:
+                vl = vec.vsetvl(n - i, lmul=lmul)
+                vec.vle(a, i)
+                i += vl
+            return None
+
+        times = {}
+        for lmul in (1, 8):
+            sdv = FpgaSdv().configure(max_vl=8, extra_latency=1024)
+            sess = sdv.session()
+            stream(sess, lmul)
+            times[lmul] = sdv.time(sess.seal()).cycles
+        assert times[8] < times[1]

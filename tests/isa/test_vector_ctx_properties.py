@@ -1,0 +1,137 @@
+"""Property-based tests: vector intrinsics vs. plain NumPy semantics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.isa import VectorContext, VMask, VReg
+from repro.memory.address_space import MemoryImage
+from repro.trace.events import TraceBuffer
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def fresh_vec(max_vl=64):
+    return VectorContext(MemoryImage(1 << 16), TraceBuffer(), max_vl=max_vl)
+
+
+@st.composite
+def float_pair(draw, max_len=32):
+    n = draw(st.integers(1, max_len))
+    a = draw(hnp.arrays(np.float64, n, elements=floats))
+    b = draw(hnp.arrays(np.float64, n, elements=floats))
+    return a, b
+
+
+@settings(max_examples=50, deadline=None)
+@given(float_pair())
+def test_vfadd_matches_numpy(pair):
+    a, b = pair
+    vec = fresh_vec()
+    vec.vsetvl(a.shape[0])
+    out = vec.vfadd(VReg(a), VReg(b))
+    assert np.array_equal(out.data, a + b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(float_pair())
+def test_vfmacc_matches_numpy(pair):
+    a, b = pair
+    vec = fresh_vec()
+    vec.vsetvl(a.shape[0])
+    acc = VReg(np.ones_like(a))
+    out = vec.vfmacc(acc, VReg(a), VReg(b))
+    assert np.allclose(out.data, 1.0 + a * b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(hnp.arrays(np.bool_, st.integers(1, 64)))
+def test_viota_is_exclusive_prefix_count(bits):
+    vec = fresh_vec()
+    vec.vsetvl(bits.shape[0])
+    out = vec.viota(VMask(bits))
+    expected = np.concatenate([[0], np.cumsum(bits)[:-1]])
+    assert np.array_equal(out.data, expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(hnp.arrays(np.bool_, st.integers(1, 64)))
+def test_vcompress_then_popc_reconstructs_selection(bits):
+    vec = fresh_vec()
+    n = bits.shape[0]
+    vec.vsetvl(n)
+    src = VReg(np.arange(1, n + 1, dtype=np.int64))
+    packed = vec.vcompress(src, VMask(bits))
+    cnt = vec.vpopc(VMask(bits))
+    assert np.array_equal(packed.data[:cnt], src.data[bits])
+    assert (packed.data[cnt:] == 0).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 64), st.integers(0, 70))
+def test_slideup_slidedown_roundtrip(n, k):
+    vec = fresh_vec()
+    vec.vsetvl(n)
+    src = VReg(np.arange(1, n + 1, dtype=np.int64))
+    up = vec.vslideup(src, k)
+    back = vec.vslidedown(up, k)
+    if k < n:
+        assert np.array_equal(back.data[: n - k], src.data[: n - k])
+    else:
+        assert (back.data == 0).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_gather_scatter_roundtrip_via_memory(data):
+    n = data.draw(st.integers(1, 32))
+    perm = np.random.default_rng(
+        data.draw(st.integers(0, 2 ** 31))
+    ).permutation(n).astype(np.int64)
+    mem = MemoryImage(1 << 16)
+    src = mem.alloc("src", np.arange(n, dtype=np.float64) + 1)
+    dst = mem.alloc("dst", n, np.float64)
+    vec = VectorContext(mem, TraceBuffer(), max_vl=64)
+    vec.vsetvl(n)
+    v = vec.vlxe(src, VReg(perm))
+    vec.vsxe(v, dst, VReg(perm))
+    # scatter through the same permutation restores the identity layout
+    assert np.array_equal(dst.view, src.view)
+
+
+@settings(max_examples=50, deadline=None)
+@given(hnp.arrays(np.float64, st.integers(1, 48), elements=floats))
+def test_vfredsum_matches_numpy_sum(a):
+    vec = fresh_vec()
+    vec.vsetvl(a.shape[0])
+    assert np.isclose(vec.vfredsum(VReg(a)), a.sum())
+
+
+@settings(max_examples=50, deadline=None)
+@given(hnp.arrays(np.int64, st.integers(1, 48),
+                  elements=st.integers(-1000, 1000)))
+def test_compare_partitions_elements(a):
+    vec = fresh_vec()
+    vec.vsetvl(a.shape[0])
+    reg = VReg(a)
+    gt = vec.vmsgt(reg, 0)
+    le = vec.vmsle(reg, 0)
+    assert not (gt.bits & le.bits).any()
+    assert (gt.bits | le.bits).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 200), st.integers(1, 64))
+def test_strip_mining_covers_exactly_avl(avl, max_vl):
+    from repro.util.mathx import is_pow2
+    if not is_pow2(max_vl):
+        max_vl = 1 << (max_vl.bit_length() - 1)
+    vec = fresh_vec(max_vl=max_vl)
+    total = 0
+    remaining = avl
+    while remaining:
+        vl = vec.vsetvl(remaining)
+        assert 0 < vl <= max_vl
+        total += vl
+        remaining -= vl
+    assert total == avl

@@ -1,0 +1,143 @@
+"""Correctness + trace-shape tests for the Stockham FFT kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError
+from repro.kernels.fft import FFT_SPEC, fft_scalar, fft_vector, make_plan
+from repro.soc import FpgaSdv
+from repro.trace.stats import summarize_trace
+from repro.workloads.signals import make_signal
+
+
+@pytest.fixture(scope="module")
+def sig():
+    return make_signal(512, kind="tones", seed=3)
+
+
+@pytest.fixture(scope="module")
+def ref(sig):
+    return np.fft.fft(sig[0] + 1j * sig[1])
+
+
+class TestPlan:
+    def test_stage_count(self):
+        assert make_plan(2048).n_stages == 11
+
+    def test_stage_geometry(self):
+        plan = make_plan(16)
+        assert [(s.l, s.m) for s in plan.stages] == [
+            (8, 1), (4, 2), (2, 4), (1, 8)
+        ]
+
+    def test_half_offset_constant(self):
+        plan = make_plan(64)
+        assert all(s.half_offset == 32 for s in plan.stages)
+
+    def test_twiddle_values(self):
+        plan = make_plan(8)
+        s0 = plan.stages[0]
+        w = plan.twiddle_re[0] + 1j * plan.twiddle_im[0]
+        expected = np.exp(-2j * np.pi * np.arange(s0.l) / (2 * s0.l))
+        assert np.allclose(w, expected)
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(KernelError):
+            make_plan(100)
+        with pytest.raises(KernelError):
+            make_plan(1)
+
+
+class TestScalar:
+    def test_matches_numpy(self, sig, ref):
+        out, _ = FpgaSdv().run(fft_scalar, sig)
+        assert np.allclose(out.value, ref, rtol=1e-9, atol=1e-9)
+
+    def test_impulse(self):
+        s = make_signal(64, kind="impulse")
+        out, _ = FpgaSdv().run(fft_scalar, s)
+        assert np.allclose(out.value, 1.0)
+
+    def test_trace_scalar_only(self, sig):
+        sess = FpgaSdv().session()
+        fft_scalar(sess, sig)
+        stats = summarize_trace(sess.seal())
+        assert stats.vector_instrs == 0
+        # 8 accesses per butterfly + 2 per twiddle group
+        n = 512
+        expected = int(np.log2(n)) * (n // 2) * 8 + 2 * (n - 1)
+        assert stats.scalar_mem_ops == expected
+
+
+class TestVector:
+    @pytest.mark.parametrize("vl", [8, 16, 32, 64, 128, 256])
+    def test_matches_numpy_at_all_vls(self, sig, ref, vl):
+        out, _ = FpgaSdv().configure(max_vl=vl).run(fft_vector, sig)
+        assert np.allclose(out.value, ref, rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("kind", ["tones", "noise", "impulse"])
+    def test_signal_kinds(self, kind):
+        s = make_signal(256, kind=kind, seed=5)
+        ref_ = np.fft.fft(s[0] + 1j * s[1])
+        out, _ = FpgaSdv().run(fft_vector, s)
+        assert np.allclose(out.value, ref_, rtol=1e-9, atol=1e-9)
+
+    def test_small_sizes(self):
+        for n in (2, 4, 8, 16):
+            s = make_signal(n, kind="noise", seed=1)
+            ref_ = np.fft.fft(s[0] + 1j * s[1])
+            out, _ = FpgaSdv().configure(max_vl=8).run(fft_vector, s)
+            assert np.allclose(out.value, ref_, rtol=1e-9, atol=1e-9)
+
+    def test_early_stages_use_index_scatter(self, sig):
+        sess = FpgaSdv().configure(max_vl=256).session()
+        fft_vector(sess, sig)
+        trace = sess.seal()
+        from repro.trace.events import VectorInstr, VMemPattern
+        patterns = {r.pattern for r in trace
+                    if isinstance(r, VectorInstr) and r.is_mem}
+        assert VMemPattern.INDEXED in patterns  # batched early stages
+        assert VMemPattern.UNIT in patterns     # late stages / loads
+
+    def test_at_vl8_mostly_unit_stride(self, sig):
+        # with VL=8, stages with m>=8 use the unit-stride path
+        sess = FpgaSdv().configure(max_vl=8).session()
+        fft_vector(sess, sig)
+        trace = sess.seal()
+        from repro.trace.events import VectorInstr, VMemPattern
+        mem = [r for r in trace if isinstance(r, VectorInstr) and r.is_mem]
+        unit = sum(1 for r in mem if r.pattern is VMemPattern.UNIT)
+        assert unit / len(mem) > 0.7
+
+    def test_spec_roundtrip(self, sig):
+        ref_ = FFT_SPEC.reference(sig)
+        out = FFT_SPEC.vector(FpgaSdv().session(), sig)
+        assert FFT_SPEC.check(out, ref_)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2 ** 31))
+    def test_property_linearity(self, seed):
+        """FFT(a + b) == FFT(a) + FFT(b), computed through the machine."""
+        rng = np.random.default_rng(seed)
+        n = 64
+        a = rng.standard_normal(n), rng.standard_normal(n)
+        b = rng.standard_normal(n), rng.standard_normal(n)
+        ab = (a[0] + b[0], a[1] + b[1])
+        fa, _ = FpgaSdv().run(fft_vector, a)
+        fb, _ = FpgaSdv().run(fft_vector, b)
+        fab, _ = FpgaSdv().run(fft_vector, ab)
+        assert np.allclose(fab.value, fa.value + fb.value,
+                           rtol=1e-9, atol=1e-9)
+
+
+class TestPerformanceShape:
+    def test_vector_beats_scalar(self, sig):
+        _, rs = FpgaSdv().run(fft_scalar, sig)
+        _, rv = FpgaSdv().configure(max_vl=256).run(fft_vector, sig)
+        assert rv.cycles < rs.cycles
+
+    def test_time_decreases_with_vl(self, sig):
+        t8 = FpgaSdv().configure(max_vl=8).run(fft_vector, sig)[1].cycles
+        t256 = FpgaSdv().configure(max_vl=256).run(fft_vector, sig)[1].cycles
+        assert t256 < t8

@@ -1,0 +1,70 @@
+"""Tests for the interleaved-complex (AoS) FFT variant."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.fft import fft_vector, fft_vector_aos
+from repro.soc import FpgaSdv
+from repro.trace.stats import summarize_trace
+from repro.workloads.signals import make_signal
+
+
+@pytest.fixture(scope="module")
+def sig():
+    return make_signal(256, kind="tones", seed=3)
+
+
+@pytest.fixture(scope="module")
+def ref(sig):
+    return np.fft.fft(sig[0] + 1j * sig[1])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("vl", [8, 32, 128, 256])
+    def test_matches_numpy(self, sig, ref, vl):
+        out, _ = FpgaSdv().configure(max_vl=vl).run(fft_vector_aos, sig)
+        assert np.allclose(out.value, ref, rtol=1e-9, atol=1e-9)
+
+    def test_matches_soa_variant_exactly(self, sig):
+        a, _ = FpgaSdv().run(fft_vector_aos, sig)
+        b, _ = FpgaSdv().run(fft_vector, sig)
+        assert np.allclose(a.value, b.value, rtol=1e-12)
+
+    @pytest.mark.parametrize("kind", ["noise", "impulse"])
+    def test_other_signals(self, kind):
+        s = make_signal(128, kind=kind, seed=5)
+        out, _ = FpgaSdv().run(fft_vector_aos, s)
+        assert np.allclose(out.value, np.fft.fft(s[0] + 1j * s[1]),
+                           rtol=1e-9, atol=1e-9)
+
+
+class TestSegmentUsage:
+    def test_uses_segment_instructions(self, sig):
+        # at max_vl=8 most stages take the m >= VL path (segment stores)
+        sess = FpgaSdv().configure(max_vl=8).session()
+        fft_vector_aos(sess, sig)
+        trace = sess.seal()
+        opcodes = {r.opcode for r in trace if hasattr(r, "opcode")}
+        assert "vlseg2e" in opcodes
+        assert "vsseg2e" in opcodes
+
+    def test_fewer_mem_instructions_than_soa(self, sig):
+        """One segment access replaces two unit-stride accesses."""
+        s1 = FpgaSdv().session()
+        fft_vector_aos(s1, sig)
+        aos = summarize_trace(s1.seal())
+        s2 = FpgaSdv().session()
+        fft_vector(s2, sig)
+        soa = summarize_trace(s2.seal())
+        assert aos.vector_mem_instrs < soa.vector_mem_instrs
+        # ...while moving the same number of bytes
+        assert aos.vector_mem_bytes == pytest.approx(soa.vector_mem_bytes,
+                                                     rel=0.01)
+
+
+class TestPerformance:
+    def test_comparable_to_soa(self, sig):
+        """Segment accesses keep AoS within a small factor of SoA."""
+        _, aos = FpgaSdv().run(fft_vector_aos, sig)
+        _, soa = FpgaSdv().run(fft_vector, sig)
+        assert aos.cycles == pytest.approx(soa.cycles, rel=0.25)

@@ -1,0 +1,68 @@
+"""Tests for the naive CSR-vector SpMV ablation variant."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.spmv import spmv_vector, spmv_vector_csr
+from repro.soc import FpgaSdv
+from repro.trace.stats import summarize_trace
+from repro.workloads.cage import scaled_cage_like
+
+
+@pytest.fixture(scope="module")
+def mat():
+    return scaled_cage_like(384, seed=7)
+
+
+@pytest.fixture(scope="module")
+def ref(mat):
+    return mat @ np.linspace(0.5, 1.5, mat.shape[0])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("vl", [8, 64, 256])
+    def test_matches_scipy(self, mat, ref, vl):
+        out, _ = FpgaSdv().configure(max_vl=vl).run(spmv_vector_csr, mat)
+        assert np.allclose(out.value, ref, rtol=1e-10)
+
+    def test_custom_x(self, mat):
+        x = np.random.default_rng(1).random(mat.shape[0])
+        out, _ = FpgaSdv().run(spmv_vector_csr, mat, x)
+        assert np.allclose(out.value, mat @ x, rtol=1e-10)
+
+    def test_empty_rows(self):
+        import scipy.sparse as sp
+        m = sp.csr_matrix((np.array([2.0]), (np.array([5]), np.array([1]))),
+                          shape=(8, 8))
+        out, _ = FpgaSdv().run(spmv_vector_csr, m, np.ones(8))
+        expected = np.zeros(8)
+        expected[5] = 2.0
+        assert np.allclose(out.value, expected)
+
+
+class TestWhySellExists:
+    def test_low_lane_occupancy_at_long_vl(self, mat):
+        """Short rows leave a 256-lane machine nearly idle per strip."""
+        sess = FpgaSdv().configure(max_vl=256).session()
+        spmv_vector_csr(sess, mat)
+        stats = summarize_trace(sess.seal())
+        avg_row = mat.nnz / mat.shape[0]
+        assert stats.avg_vl < 2 * avg_row  # row length caps the strip vl
+
+    def test_one_reduction_sync_per_row(self, mat):
+        sess = FpgaSdv().configure(max_vl=256).session()
+        spmv_vector_csr(sess, mat)
+        stats = summarize_trace(sess.seal())
+        assert stats.by_opclass.get("reduce", 0) >= mat.shape[0]
+
+    def test_sell_is_much_faster(self, mat):
+        _, naive = FpgaSdv().configure(max_vl=256).run(spmv_vector_csr, mat)
+        _, sell = FpgaSdv().configure(max_vl=256).run(spmv_vector, mat)
+        assert sell.cycles < naive.cycles / 3
+
+    def test_sell_advantage_grows_with_vl(self, mat):
+        def ratio(vl):
+            _, a = FpgaSdv().configure(max_vl=vl).run(spmv_vector_csr, mat)
+            _, b = FpgaSdv().configure(max_vl=vl).run(spmv_vector, mat)
+            return a.cycles / b.cycles
+        assert ratio(256) > ratio(8)

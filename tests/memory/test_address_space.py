@@ -1,0 +1,150 @@
+"""Unit tests for the simulated memory image and allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AccessError, AllocationError
+from repro.memory.address_space import MemoryImage
+from repro.util.units import LINE_BYTES
+
+
+class TestAlloc:
+    def test_alloc_by_shape(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("x", 10, np.float64)
+        assert a.nbytes == 80
+        assert a.view.shape == (10,)
+        assert a.view.dtype == np.float64
+
+    def test_alloc_from_data_copies_values(self):
+        mem = MemoryImage(1 << 16)
+        data = np.arange(5, dtype=np.int64)
+        a = mem.alloc("x", data)
+        assert (a.view == data).all()
+
+    def test_alloc_view_is_backed_by_image(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("x", 4, np.float64)
+        a.view[2] = 7.5
+        b = mem["x"]
+        assert b.view[2] == 7.5
+
+    def test_line_alignment_default(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("x", 3, np.float64)
+        b = mem.alloc("y", 3, np.float64)
+        assert a.base % LINE_BYTES == 0
+        assert b.base % LINE_BYTES == 0
+
+    def test_allocations_do_not_overlap(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("x", 100, np.float64)
+        b = mem.alloc("y", 100, np.float64)
+        assert a.end <= b.base
+
+    def test_duplicate_name_rejected(self):
+        mem = MemoryImage(1 << 16)
+        mem.alloc("x", 1, np.int64)
+        with pytest.raises(AllocationError):
+            mem.alloc("x", 1, np.int64)
+
+    def test_exhaustion(self):
+        mem = MemoryImage(1024)
+        with pytest.raises(AllocationError):
+            mem.alloc("big", 1 << 20, np.uint8)
+
+    def test_dtype_required_for_shape(self):
+        mem = MemoryImage(1024)
+        with pytest.raises(AllocationError):
+            mem.alloc("x", 4)
+
+    def test_bad_alignment_rejected(self):
+        mem = MemoryImage(1024)
+        with pytest.raises(AllocationError):
+            mem.alloc("x", 4, np.int64, align=3)
+
+    def test_2d_shape(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("m", (4, 8), np.float64)
+        assert a.view.shape == (4, 8)
+        assert a.nbytes == 4 * 8 * 8
+
+
+class TestAddr:
+    def test_scalar_addr(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("x", 8, np.float64)
+        assert a.addr(0) == a.base
+        assert a.addr(3) == a.base + 24
+
+    def test_vector_addr(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("x", 8, np.float64)
+        idx = np.array([0, 2, 7])
+        assert (a.addr(idx) == a.base + idx * 8).all()
+
+    def test_out_of_bounds_scalar(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("x", 8, np.float64)
+        with pytest.raises(AccessError):
+            a.addr(8)
+
+    def test_out_of_bounds_negative(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("x", 8, np.float64)
+        with pytest.raises(AccessError):
+            a.addr(np.array([0, -1]))
+
+    @given(st.integers(1, 256), st.integers(0, 255))
+    def test_addr_always_inside_allocation(self, n, i):
+        mem = MemoryImage(1 << 20)
+        a = mem.alloc("x", max(n, i + 1), np.float64)
+        addr = a.addr(i)
+        assert a.base <= addr < a.end
+
+
+class TestImage:
+    def test_owner_of(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("x", 8, np.float64)
+        assert mem.owner_of(a.base + 8).name == "x"
+        assert mem.owner_of(a.end + 1024) is None
+
+    def test_contains(self):
+        mem = MemoryImage(1 << 16)
+        mem.alloc("x", 1, np.int64)
+        assert "x" in mem and "y" not in mem
+
+    def test_getitem_missing(self):
+        mem = MemoryImage(1 << 16)
+        with pytest.raises(AccessError):
+            mem["nope"]
+
+    def test_reset_clears_everything(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("x", 4, np.float64)
+        a.view[:] = 1.0
+        mem.reset()
+        assert "x" not in mem
+        assert mem.used_bytes == 0
+        b = mem.alloc("x", 4, np.float64)
+        assert (b.view == 0).all()
+
+    def test_check_addresses_in_range(self):
+        mem = MemoryImage(1 << 16)
+        a = mem.alloc("x", 8, np.float64)
+        mem.check_addresses(np.array([a.base, a.end - 1]))
+
+    def test_check_addresses_out_of_range(self):
+        mem = MemoryImage(1 << 16)
+        with pytest.raises(AccessError):
+            mem.check_addresses(np.array([0]))
+
+    def test_check_addresses_empty_ok(self):
+        mem = MemoryImage(1 << 16)
+        mem.check_addresses(np.empty(0, dtype=np.int64))
+
+    def test_size_validation(self):
+        with pytest.raises(AllocationError):
+            MemoryImage(0)

@@ -1,0 +1,69 @@
+"""Unit tests for the DRAM model with composed throttle modules."""
+
+import pytest
+
+from repro.config import MemConfig, bw_fraction_for_bytes_per_cycle
+from repro.errors import ConfigError
+from repro.memory.dram import DramModel
+
+
+class TestService:
+    def test_unthrottled_latency(self):
+        d = DramModel(MemConfig(dram_service_cycles=30))
+        assert d.service(0.0) == 30.0
+
+    def test_extra_latency_added(self):
+        d = DramModel(MemConfig(dram_service_cycles=30,
+                                extra_latency_cycles=100))
+        assert d.service(0.0) == 130.0
+        assert d.unloaded_latency == 130
+
+    def test_bandwidth_throttling_spaces_requests(self):
+        d = DramModel(MemConfig(dram_service_cycles=30, bw_num=1, bw_den=4))
+        first = d.service(0.0)
+        second = d.service(0.0)
+        assert second - first == 4.0
+
+    def test_stats(self):
+        d = DramModel(MemConfig())
+        d.service(0.0)
+        d.service(1.0, write=True)
+        assert d.stats.reads == 1
+        assert d.stats.writes == 1
+        assert d.stats.transactions == 2
+        assert d.stats.bytes_moved == 128
+
+    def test_reset(self):
+        d = DramModel(MemConfig(bw_num=1, bw_den=8))
+        d.service(0.0)
+        d.reset()
+        assert d.stats.transactions == 0
+        assert d.service(0.0) == d.unloaded_latency
+
+    def test_latency_is_pipelined_with_bandwidth(self):
+        # latency controller adds delay AFTER admission, so two admitted
+        # requests keep their window spacing
+        d = DramModel(MemConfig(dram_service_cycles=10,
+                                extra_latency_cycles=1000,
+                                bw_num=1, bw_den=2))
+        a = d.service(0.0)
+        b = d.service(0.0)
+        assert b - a == 2.0
+
+
+class TestBwFractionHelper:
+    def test_known_values(self):
+        assert bw_fraction_for_bytes_per_cycle(64) == (1, 1)
+        assert bw_fraction_for_bytes_per_cycle(32) == (1, 2)
+        assert bw_fraction_for_bytes_per_cycle(8) == (1, 8)
+        assert bw_fraction_for_bytes_per_cycle(1) == (1, 64)
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigError):
+            bw_fraction_for_bytes_per_cycle(3)
+        with pytest.raises(ConfigError):
+            bw_fraction_for_bytes_per_cycle(0)
+
+    def test_config_roundtrip(self):
+        cfg = MemConfig(bw_num=1, bw_den=2)
+        assert cfg.bytes_per_cycle_limit == 32.0

@@ -1,0 +1,114 @@
+"""Unit tests for the banked shared L2 + MESI home node."""
+
+import numpy as np
+import pytest
+
+from repro.config import L2Config
+from repro.memory.l2hn import L2HomeNode, MesiState
+
+
+def make(banks=4, bank_bytes=16 * 1024, ways=4):
+    return L2HomeNode(L2Config(banks=banks, bank_bytes=bank_bytes, ways=ways))
+
+
+class TestBankMapping:
+    def test_line_interleaving(self):
+        l2 = make()
+        assert [l2.bank_of_line(i) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_addr_mapping_uses_line_bits(self):
+        l2 = make()
+        assert l2.bank_of_addr(0x00) == 0
+        assert l2.bank_of_addr(0x40) == 1
+        assert l2.bank_of_addr(0x3F) == 0  # same line as 0x00
+
+    def test_vectorized_mapping(self):
+        l2 = make()
+        lines = np.arange(16)
+        assert (l2.banks_of_lines(lines) == lines % 4).all()
+
+    def test_balanced_for_sequential_stream(self):
+        l2 = make()
+        for line in range(400):
+            l2.access_line(line)
+        assert l2.stats.bank_imbalance() == pytest.approx(1.0)
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit(self):
+        l2 = make()
+        hit, _ = l2.access_line(10)
+        assert not hit
+        hit, _ = l2.access_line(10)
+        assert hit
+
+    def test_dirty_eviction_to_dram(self):
+        l2 = make(banks=1, bank_bytes=64, ways=1)  # single line capacity
+        l2.access_line(0, write=True)
+        hit, victim = l2.access_line(1)
+        assert not hit and victim == 0
+
+    def test_writeback_line_installs_without_fill(self):
+        l2 = make()
+        before = l2.cache_stats.accesses
+        assert l2.writeback_line(7) is None
+        assert l2.cache_stats.accesses == before
+        hit, _ = l2.access_line(7)
+        assert hit
+
+    def test_writeback_line_can_evict_dirty(self):
+        l2 = make(banks=1, bank_bytes=64, ways=1)
+        l2.writeback_line(0)
+        victim = l2.writeback_line(1)
+        assert victim == 0
+
+    def test_flush(self):
+        l2 = make()
+        l2.access_line(0, write=True)
+        assert l2.flush() == 1
+        hit, _ = l2.access_line(0)
+        assert not hit
+
+    def test_aggregate_stats(self):
+        l2 = make()
+        for line in range(8):
+            l2.access_line(line)
+        for line in range(8):
+            l2.access_line(line)
+        s = l2.cache_stats
+        assert s.accesses == 16 and s.hits == 8 and s.misses == 8
+
+
+class TestDirectory:
+    def test_read_installs_exclusive(self):
+        l2 = make()
+        l2.access_line(3)
+        assert l2.directory_state(3) is MesiState.EXCLUSIVE
+
+    def test_write_upgrades_to_modified(self):
+        l2 = make()
+        l2.access_line(3)
+        l2.access_line(3, write=True)
+        assert l2.directory_state(3) is MesiState.MODIFIED
+
+    def test_untouched_is_invalid(self):
+        l2 = make()
+        assert l2.directory_state(99) is MesiState.INVALID
+
+    def test_eviction_invalidates_directory(self):
+        l2 = make(banks=1, bank_bytes=64, ways=1)
+        l2.access_line(0)
+        l2.access_line(1)  # evicts 0
+        assert l2.directory_state(0) is MesiState.INVALID
+
+    def test_single_agent_invariant_holds(self):
+        l2 = make()
+        for line in range(32):
+            l2.access_line(line, write=(line % 2 == 0))
+        l2.validate_single_agent_invariant()
+
+    def test_transitions_counted(self):
+        l2 = make()
+        l2.access_line(0)
+        l2.access_line(0, write=True)
+        assert l2.stats.directory_transitions >= 2

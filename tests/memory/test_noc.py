@@ -1,0 +1,72 @@
+"""Unit tests for the 2x2 mesh NoC model."""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.errors import ConfigError
+from repro.memory.noc import MeshNoc
+
+
+def make(cols=2, rows=2, hop=4, inject=2):
+    return MeshNoc(NocConfig(mesh_cols=cols, mesh_rows=rows,
+                             hop_cycles=hop, inject_cycles=inject))
+
+
+class TestTopology:
+    def test_node_xy_row_major(self):
+        noc = make()
+        assert noc.node_xy(0) == (0, 0)
+        assert noc.node_xy(1) == (1, 0)
+        assert noc.node_xy(2) == (0, 1)
+        assert noc.node_xy(3) == (1, 1)
+
+    def test_node_out_of_range(self):
+        with pytest.raises(ConfigError):
+            make().node_xy(4)
+
+    def test_hops_manhattan(self):
+        noc = make()
+        assert noc.hops(0, 0) == 0
+        assert noc.hops(0, 1) == 1
+        assert noc.hops(0, 2) == 1
+        assert noc.hops(0, 3) == 2
+
+    def test_hops_symmetric(self):
+        noc = make(4, 4)
+        for a in range(16):
+            for b in range(16):
+                assert noc.hops(a, b) == noc.hops(b, a)
+
+    def test_bank_placement_2x2(self):
+        noc = make()
+        assert [noc.hops_to_bank(b, 4) for b in range(4)] == [0, 1, 1, 2]
+
+    def test_too_many_banks_rejected(self):
+        with pytest.raises(ConfigError):
+            make().hops_to_bank(0, 5)
+
+    def test_bank_out_of_range(self):
+        with pytest.raises(ConfigError):
+            make().hops_to_bank(4, 4)
+
+
+class TestLatency:
+    def test_one_way_latency(self):
+        noc = make(hop=4, inject=2)
+        assert noc.one_way_latency(0, 0) == 2
+        assert noc.one_way_latency(0, 3) == 2 + 8
+
+    def test_round_trip_latency(self):
+        noc = make(hop=4, inject=2)
+        assert noc.round_trip_latency(0, 4) == 4
+        assert noc.round_trip_latency(3, 4) == 2 * (2 + 8)
+
+    def test_bank_latencies_array(self):
+        noc = make(hop=4, inject=2)
+        lats = noc.bank_latencies(4)
+        assert list(lats) == [4, 12, 12, 20]
+
+    def test_avg_noc_hops_config_property(self):
+        from repro.config import SdvConfig
+        cfg = SdvConfig().validate()
+        assert cfg.avg_noc_hops == pytest.approx(1.0)  # (0+1+1+2)/4

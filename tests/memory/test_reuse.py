@@ -1,0 +1,149 @@
+"""Tests for reuse-distance analysis, cross-validated against the cache
+simulator at full associativity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import SetAssocCache
+from repro.memory.reuse import (
+    INFINITE,
+    ReuseProfile,
+    line_stream,
+    profile_trace,
+    reuse_distances,
+)
+from repro.util.units import LINE_BYTES
+
+
+class TestReuseDistances:
+    def test_first_touches_are_infinite(self):
+        d = reuse_distances(np.array([1, 2, 3]))
+        assert list(d) == [INFINITE] * 3
+
+    def test_immediate_reuse_is_zero(self):
+        d = reuse_distances(np.array([7, 7]))
+        assert d[1] == 0
+
+    def test_textbook_example(self):
+        # stream: a b c b a — distances: inf inf inf 1 2
+        d = reuse_distances(np.array([0, 1, 2, 1, 0]))
+        assert list(d) == [INFINITE, INFINITE, INFINITE, 1, 2]
+
+    def test_repeated_scan(self):
+        # two passes over 4 lines: second pass all distance 3
+        stream = np.tile(np.arange(4), 2)
+        d = reuse_distances(stream)
+        assert list(d[4:]) == [3, 3, 3, 3]
+
+    def test_duplicate_between_does_not_double_count(self):
+        # a b b a: distinct lines between the two a's is 1, not 2
+        d = reuse_distances(np.array([0, 1, 1, 0]))
+        assert d[3] == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    def test_property_matches_fully_associative_lru(self, lines):
+        """Access hits an LRU cache of C lines iff distance < C — checked
+        against the real cache model for several C."""
+        lines = np.asarray(lines, dtype=np.int64)
+        d = reuse_distances(lines)
+        for c in (1, 2, 4, 8, 32):
+            cache = SetAssocCache(c * LINE_BYTES, c)  # 1 set, c ways: full LRU
+            hits_sim = np.array(
+                [cache.access_line(int(l))[0] for l in lines])
+            hits_pred = (d != INFINITE) & (d < c)
+            assert (hits_sim == hits_pred).all()
+
+
+class TestReuseProfile:
+    def _profile(self, lines):
+        lines = np.asarray(lines, dtype=np.int64)
+        return ReuseProfile(distances=reuse_distances(lines),
+                            n_lines=len(np.unique(lines)))
+
+    def test_compulsory_count(self):
+        p = self._profile([0, 1, 0, 2, 1])
+        assert p.compulsory == 3
+        assert p.accesses == 5
+
+    def test_miss_ratio_monotone_in_size(self):
+        rng = np.random.default_rng(0)
+        p = self._profile(rng.integers(0, 100, 2000))
+        ratios = [p.miss_ratio(c) for c in (1, 4, 16, 64, 256)]
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_footprint(self):
+        p = self._profile([5, 6, 5])
+        assert p.footprint_bytes == 2 * LINE_BYTES
+
+    def test_infinite_cache_leaves_compulsory_only(self):
+        p = self._profile([0, 1, 0, 1, 2])
+        assert p.miss_ratio(10 ** 6) == pytest.approx(3 / 5)
+
+    def test_working_set_of_small_loop(self):
+        # loop over 8 lines many times: 8-line cache captures it
+        stream = np.tile(np.arange(8), 50)
+        p = self._profile(stream)
+        ws = p.working_set_bytes(target_hit_rate=0.9)
+        assert ws == 8 * LINE_BYTES
+
+    def test_miss_ratio_curve_keys(self):
+        p = self._profile([0, 1, 0])
+        curve = p.miss_ratio_curve([64, 1024])
+        assert set(curve) == {64, 1024}
+
+
+class TestTraceProfiles:
+    def test_line_stream_combines_scalar_and_vector(self):
+        from repro.isa import ScalarContext, VectorContext
+        from repro.memory.address_space import MemoryImage
+        from repro.trace.events import TraceBuffer
+        mem = MemoryImage(1 << 20)
+        trace = TraceBuffer()
+        scl = ScalarContext(mem, trace)
+        vec = VectorContext(mem, trace, max_vl=16)
+        a = mem.alloc("x", np.arange(64, dtype=np.float64))
+        scl.emit_block(a.addr(np.arange(8)), False, 0)  # line 0
+        vec.vsetvl(16)
+        vec.vle(a, 16)                                  # lines 2,3
+        stream = line_stream(trace.seal())
+        assert stream.shape[0] == 8 + 2
+
+    def test_kernel_working_sets_ordered(self):
+        """SpMV's footprint exceeds FFT's at comparable element counts —
+        the sparse indices and x vector cost real bytes."""
+        from repro.kernels import KERNELS
+        from repro.soc import FpgaSdv
+        from repro.workloads import get_scale
+        scale = get_scale("smoke")
+        profiles = {}
+        for name in ("spmv", "fft"):
+            spec = KERNELS[name]
+            sess = FpgaSdv().session()
+            spec.vector(sess, spec.prepare(scale, 7))
+            profiles[name] = profile_trace(sess.seal())
+        assert profiles["spmv"].footprint_bytes > 0
+        assert profiles["fft"].footprint_bytes > 0
+
+    def test_l2_hit_rate_prediction_close_to_classifier(self):
+        """The reuse profile's prediction for the L2-sized cache should be
+        in the neighbourhood of the real (set-associative, banked)
+        classification — same workload, same stream."""
+        from repro.config import SdvConfig
+        from repro.kernels import KERNELS
+        from repro.soc import FpgaSdv
+        from repro.workloads import get_scale
+        spec = KERNELS["fft"]
+        sess = FpgaSdv().session()
+        spec.vector(sess, spec.prepare(get_scale("smoke"), 7))
+        trace = sess.seal()
+        profile = profile_trace(trace)
+        cfg = SdvConfig().validate()
+        predicted_miss = profile.miss_ratio(cfg.l2.total_bytes // LINE_BYTES)
+        ct = FpgaSdv().classify(trace)
+        t = ct.totals
+        vec_total = t["vector_line_reqs"]
+        actual_miss = (t["dram_reads"]) / max(1, vec_total
+                                              + t["scalar_mem_ops"])
+        assert predicted_miss == pytest.approx(actual_miss, abs=0.15)

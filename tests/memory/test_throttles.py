@@ -1,0 +1,144 @@
+"""Unit + property tests for the Latency Controller and Bandwidth Limiter —
+the paper's two Section 2.2/2.3 modules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.memory.bandwidth_limiter import BandwidthLimiter
+from repro.memory.latency_controller import LatencyController
+from repro.util.units import LINE_BYTES
+
+
+class TestLatencyController:
+    def test_zero_by_default(self):
+        lc = LatencyController()
+        assert lc.delay(100.0) == 100.0
+
+    def test_adds_configured_cycles(self):
+        lc = LatencyController(32)
+        assert lc.delay(100.0) == 132.0
+
+    def test_runtime_reconfiguration(self):
+        lc = LatencyController(0)
+        lc.set_extra_cycles(1024)
+        assert lc.extra_cycles == 1024
+        assert lc.delay(0.0) == 1024.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyController(-1)
+
+    def test_pipelined_no_serialization(self):
+        # two back-to-back requests exit one cycle apart: delay only
+        lc = LatencyController(500)
+        assert lc.delay(11.0) - lc.delay(10.0) == 1.0
+
+    @given(st.integers(0, 10_000), st.floats(0, 1e9))
+    def test_property_exit_equals_entry_plus_extra(self, extra, t):
+        lc = LatencyController(extra)
+        assert lc.delay(t) == t + extra
+
+
+class TestBandwidthLimiterConfig:
+    def test_peak_is_64_bytes_per_cycle(self):
+        bl = BandwidthLimiter(1, 1)
+        assert bl.bytes_per_cycle == LINE_BYTES
+
+    def test_paper_example_one_third(self):
+        # Section 2.3: numerator 1, denominator 3 -> 33% of peak
+        bl = BandwidthLimiter(1, 3)
+        assert bl.requests_per_cycle == pytest.approx(1 / 3)
+        assert bl.bytes_per_cycle == pytest.approx(LINE_BYTES / 3)
+
+    def test_over_peak_rejected(self):
+        with pytest.raises(ConfigError):
+            BandwidthLimiter(2, 1)
+
+    def test_zero_terms_rejected(self):
+        with pytest.raises(ConfigError):
+            BandwidthLimiter(0, 1)
+        with pytest.raises(ConfigError):
+            BandwidthLimiter(1, 0)
+
+    def test_runtime_reconfiguration(self):
+        bl = BandwidthLimiter(1, 1)
+        bl.set_fraction(1, 4)
+        assert bl.fraction == (1, 4)
+
+
+class TestBandwidthLimiterAdmission:
+    def test_peak_admits_every_cycle(self):
+        bl = BandwidthLimiter(1, 1)
+        assert [bl.admit(t) for t in (0, 1, 2)] == [0.0, 1.0, 2.0]
+
+    def test_one_third_window_spacing(self):
+        bl = BandwidthLimiter(1, 3)
+        # 4 requests all arriving at t=0: windows [0,3),[3,6),[6,9),[9,12)
+        assert [bl.admit(0) for _ in range(4)] == [0.0, 3.0, 6.0, 9.0]
+
+    def test_quota_recovers_after_idle(self):
+        bl = BandwidthLimiter(1, 4)
+        assert bl.admit(0) == 0.0
+        assert bl.admit(100) == 100.0  # new window, fresh quota
+
+    def test_multi_request_window(self):
+        bl = BandwidthLimiter(2, 4)
+        # two requests fit in the first window, third slips to the next
+        assert bl.admit(0) == 0.0
+        assert bl.admit(0) == 0.0
+        assert bl.admit(0) == 4.0
+
+    def test_reset(self):
+        bl = BandwidthLimiter(1, 8)
+        bl.admit(0)
+        bl.reset()
+        assert bl.admit(0) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 4), st.integers(1, 8),
+        st.lists(st.integers(0, 50), min_size=1, max_size=60),
+    )
+    def test_property_window_quota_never_exceeded(self, num, den, gaps):
+        num = min(num, den)
+        bl = BandwidthLimiter(num, den)
+        t = 0
+        admissions = []
+        for gap in gaps:
+            t += gap
+            admissions.append(bl.admit(t))
+        # monotone, never before arrival
+        t = 0
+        for gap, a in zip(gaps, admissions):
+            t += gap
+            assert a >= t
+        assert admissions == sorted(admissions)
+        # count per window respects num
+        from collections import Counter
+        per_window = Counter(int(a) // den for a in admissions)
+        assert max(per_window.values()) <= num
+
+
+class TestClosedForms:
+    def test_min_cycles_for_requests(self):
+        bl = BandwidthLimiter(1, 3)
+        assert bl.min_cycles_for_requests(0) == 0.0
+        assert bl.min_cycles_for_requests(1) == 1.0
+        assert bl.min_cycles_for_requests(4) == 10.0
+
+    def test_min_cycles_for_bytes_rounds_to_lines(self):
+        bl = BandwidthLimiter(1, 1)
+        assert bl.min_cycles_for_bytes(1) == bl.min_cycles_for_requests(1)
+        assert bl.min_cycles_for_bytes(65) == bl.min_cycles_for_requests(2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 8), st.integers(1, 100))
+    def test_property_closed_form_is_lower_bound_of_admission(self, num, den, n):
+        num = min(num, den)
+        bl = BandwidthLimiter(num, den)
+        last = 0.0
+        for _ in range(n):
+            last = bl.admit(0)
+        elapsed = last + 1  # the last request occupies its cycle
+        assert bl.min_cycles_for_requests(n) <= elapsed

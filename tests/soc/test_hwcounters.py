@@ -1,0 +1,28 @@
+"""Unit tests for the hardware-counter facade."""
+
+from repro.engine.results import CycleReport
+from repro.soc.hwcounters import HwCounters
+
+
+def report(cycles=100.0, reads=5, writes=2):
+    return CycleReport(cycles=cycles, dram_reads=reads, dram_writes=writes)
+
+
+def test_absorb_accumulates():
+    c = HwCounters()
+    c.absorb(report(100.0), scalar_instret=10, vector_instret=4)
+    c.absorb(report(50.0))
+    assert c.cycles == 150.0
+    assert c.scalar_instret == 10
+    assert c.vector_instret == 4
+    assert c.dram_reads == 10
+    assert c.dram_writes == 4
+    assert c.history == [100.0, 50.0]
+
+
+def test_snapshot_delta_discipline():
+    c = HwCounters()
+    before = c.snapshot()
+    c.absorb(report(42.0))
+    after = c.snapshot()
+    assert HwCounters.delta(before, after) == 42.0

@@ -1,0 +1,30 @@
+"""Run the doctest examples embedded in library docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.config
+import repro.core.compare
+import repro.util.mathx
+import repro.util.prng
+import repro.util.tables
+import repro.util.units
+
+MODULES = [
+    repro.config,
+    repro.core.compare,
+    repro.util.mathx,
+    repro.util.prng,
+    repro.util.tables,
+    repro.util.units,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tested = doctest.testmod(module).failed, \
+        doctest.testmod(module).attempted
+    assert failures == 0
+    assert tested > 0, f"{module.__name__} should carry doctest examples"

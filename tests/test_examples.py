@@ -1,0 +1,46 @@
+"""Smoke tests for the example scripts.
+
+Each example must (a) import cleanly and (b) expose a ``main``; the fastest
+one runs end to end as a subprocess so the on-disk entry points stay
+healthy (the heavier studies are exercised through the library calls they
+wrap, which the rest of the suite covers).
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "latency_tolerance_study",
+            "bandwidth_provisioning", "custom_kernel",
+            "codesign_study", "working_set_analysis"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = load(path)
+    assert callable(getattr(module, "main", None)), path.stem
+
+
+def test_custom_kernel_example_runs():
+    path = next(p for p in EXAMPLES if p.stem == "custom_kernel")
+    proc = subprocess.run([sys.executable, str(path)], capture_output=True,
+                          text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    assert "slowdown" in proc.stdout

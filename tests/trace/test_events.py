@@ -1,0 +1,101 @@
+"""Unit tests for trace record types and the buffer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    MLP_UNBOUNDED,
+    Barrier,
+    ScalarBlock,
+    TraceBuffer,
+    VectorInstr,
+    VMemPattern,
+    VOpClass,
+)
+
+
+class TestScalarBlock:
+    def test_basic(self):
+        b = ScalarBlock(n_alu_ops=3, mem_addrs=np.array([1, 2]),
+                        mem_is_write=np.array([False, True]))
+        assert b.n_mem_ops == 2
+        assert b.n_insns == 5
+        assert b.mlp_hint == MLP_UNBOUNDED
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TraceError):
+            ScalarBlock(n_alu_ops=0, mem_addrs=np.array([1]),
+                        mem_is_write=np.array([False, True]))
+
+    def test_negative_alu(self):
+        with pytest.raises(TraceError):
+            ScalarBlock(n_alu_ops=-1, mem_addrs=np.empty(0, dtype=np.int64),
+                        mem_is_write=np.empty(0, dtype=bool))
+
+    def test_bad_mlp(self):
+        with pytest.raises(TraceError):
+            ScalarBlock(n_alu_ops=0, mem_addrs=np.empty(0, dtype=np.int64),
+                        mem_is_write=np.empty(0, dtype=bool), mlp_hint=0)
+
+    def test_dtype_coercion(self):
+        b = ScalarBlock(n_alu_ops=0, mem_addrs=[1, 2], mem_is_write=[0, 1])
+        assert b.mem_addrs.dtype == np.int64
+        assert b.mem_is_write.dtype == bool
+
+
+class TestVectorInstr:
+    def test_mem_requires_pattern_and_addrs(self):
+        with pytest.raises(TraceError):
+            VectorInstr(op=VOpClass.MEM, vl=4, opcode="vle")
+
+    def test_mem_addr_count_must_match_active(self):
+        with pytest.raises(TraceError):
+            VectorInstr(op=VOpClass.MEM, vl=4, opcode="vle",
+                        pattern=VMemPattern.UNIT,
+                        addrs=np.array([1, 2]))
+
+    def test_masked_mem_uses_active(self):
+        v = VectorInstr(op=VOpClass.MEM, vl=4, opcode="vle",
+                        pattern=VMemPattern.UNIT,
+                        addrs=np.array([1, 2]), masked=True, active=2)
+        assert v.active == 2 and v.is_mem
+
+    def test_non_mem_with_addrs_rejected(self):
+        with pytest.raises(TraceError):
+            VectorInstr(op=VOpClass.ARITH, vl=4, opcode="vfadd",
+                        addrs=np.array([1]))
+
+    def test_active_defaults_to_vl(self):
+        v = VectorInstr(op=VOpClass.ARITH, vl=8, opcode="vfadd")
+        assert v.active == 8
+
+    def test_negative_vl_rejected(self):
+        with pytest.raises(TraceError):
+            VectorInstr(op=VOpClass.ARITH, vl=-1, opcode="x")
+
+
+class TestTraceBuffer:
+    def test_append_iterate(self):
+        t = TraceBuffer()
+        t.append(Barrier("a"))
+        t.append(Barrier("b"))
+        assert len(t) == 2
+        assert [r.label for r in t] == ["a", "b"]
+        assert t[1].label == "b"
+
+    def test_seal_blocks_append(self):
+        t = TraceBuffer()
+        t.seal()
+        with pytest.raises(TraceError):
+            t.append(Barrier())
+
+    def test_rejects_non_records(self):
+        t = TraceBuffer()
+        with pytest.raises(TraceError):
+            t.append("not a record")
+
+    def test_seal_returns_self(self):
+        t = TraceBuffer()
+        assert t.seal() is t
+        assert t.sealed

@@ -1,0 +1,55 @@
+"""Unit tests for trace summary statistics."""
+
+import numpy as np
+
+from repro.trace.events import (
+    Barrier,
+    ScalarBlock,
+    TraceBuffer,
+    VectorInstr,
+    VMemPattern,
+    VOpClass,
+)
+from repro.trace.stats import summarize_trace
+
+
+def test_empty_trace():
+    s = summarize_trace(TraceBuffer())
+    assert s.total_dynamic_insns == 0
+    assert s.avg_vl == 0.0
+
+
+def test_mixed_trace():
+    t = TraceBuffer()
+    t.append(ScalarBlock(n_alu_ops=5, mem_addrs=np.array([0, 8]),
+                         mem_is_write=np.array([False, True])))
+    t.append(VectorInstr(op=VOpClass.ARITH, vl=16, opcode="vfadd"))
+    t.append(VectorInstr(op=VOpClass.MEM, vl=8, opcode="vle",
+                         pattern=VMemPattern.UNIT,
+                         addrs=np.arange(8) * 8))
+    t.append(Barrier())
+    s = summarize_trace(t)
+    assert s.scalar_blocks == 1
+    assert s.scalar_alu_ops == 5
+    assert s.scalar_mem_ops == 2
+    assert s.scalar_mem_bytes == 16
+    assert s.vector_instrs == 2
+    assert s.vector_mem_instrs == 1
+    assert s.vector_elems == 24
+    assert s.vector_mem_elems == 8
+    assert s.vector_mem_bytes == 64
+    assert s.barriers == 1
+    assert s.avg_vl == 12.0
+    assert s.total_dynamic_insns == 9
+    assert s.total_mem_bytes == 80
+    assert s.by_opclass == {"arith": 1, "mem": 1}
+
+
+def test_masked_mem_counts_active_elements():
+    t = TraceBuffer()
+    t.append(VectorInstr(op=VOpClass.MEM, vl=8, opcode="vle",
+                         pattern=VMemPattern.UNIT, addrs=np.arange(3) * 8,
+                         masked=True, active=3))
+    s = summarize_trace(t)
+    assert s.vector_mem_elems == 3
+    assert s.vector_elems == 8  # vl is occupancy, active is traffic

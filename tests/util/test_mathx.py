@@ -1,0 +1,79 @@
+"""Unit tests for repro.util.mathx."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.mathx import ceil_div, is_pow2, log2_int, next_pow2
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_round_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_one_divisor(self):
+        assert ceil_div(7, 1) == 7
+
+    def test_negative_dividend_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 4)
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(0, 10 ** 9), st.integers(1, 10 ** 6))
+    def test_matches_float_ceiling(self, a, b):
+        assert ceil_div(a, b) == -(-a // b)
+
+    @given(st.integers(0, 10 ** 9), st.integers(1, 10 ** 6))
+    def test_bounds(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a or a == 0
+        assert q * b >= a
+
+
+class TestIsPow2:
+    def test_powers(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_non_powers(self):
+        for n in (0, 3, 5, 6, 7, 9, 12, 100, -4):
+            assert not is_pow2(n)
+
+
+class TestLog2Int:
+    def test_values(self):
+        assert log2_int(1) == 0
+        assert log2_int(64) == 6
+        assert log2_int(1 << 30) == 30
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_int(48)
+
+    @given(st.integers(0, 50))
+    def test_roundtrip(self, k):
+        assert log2_int(1 << k) == k
+
+
+class TestNextPow2:
+    def test_values(self):
+        assert next_pow2(1) == 1
+        assert next_pow2(5) == 8
+        assert next_pow2(8) == 8
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_pow2(0)
+
+    @given(st.integers(1, 10 ** 9))
+    def test_is_smallest_pow2_geq(self, n):
+        p = next_pow2(n)
+        assert is_pow2(p) and p >= n and (p == 1 or p // 2 < n)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import TextTable, heat_cell, render_heat_table
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        t = TextTable(["a", "b"])
+        t.add_row([1, 22])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "22" in lines[2]
+
+    def test_column_widths_expand(self):
+        t = TextTable(["x"])
+        t.add_row(["longvalue"])
+        assert "longvalue" in t.render()
+
+    def test_ragged_row_rejected(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_table_renders_header(self):
+        t = TextTable(["col"])
+        assert "col" in t.render()
+
+
+class TestHeatCell:
+    def test_plain(self):
+        assert heat_cell(1.5, 1.0, 2.0).strip() == "1.50"
+
+    def test_color_contains_ansi(self):
+        out = heat_cell(2.0, 1.0, 2.0, color=True)
+        assert "\x1b[48;5;" in out and out.endswith("\x1b[0m")
+
+    def test_color_gradient_ends(self):
+        lo = heat_cell(0.0, 0.0, 1.0, color=True)
+        hi = heat_cell(1.0, 0.0, 1.0, color=True)
+        assert lo != hi
+
+    def test_degenerate_range(self):
+        # vmin == vmax must not divide by zero
+        out = heat_cell(1.0, 1.0, 1.0, color=True)
+        assert "1.00" in out
+
+
+class TestRenderHeatTable:
+    def test_structure(self):
+        out = render_heat_table(
+            [0, 32], ["scalar", "vl256"], [[1.0, 1.0], [1.3, 1.1]],
+            title="t",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "scalar" in lines[1]
+        assert len(lines) == 4
+
+    def test_values_formatted(self):
+        out = render_heat_table([0], ["a"], [[2.345]])
+        assert "2.35" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_heat_table([], [], [])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            render_heat_table([0], ["a", "b"], [[1.0]])

@@ -1,0 +1,59 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    FPGA_SDV_FREQ_HZ,
+    GiB,
+    KiB,
+    LINE_BYTES,
+    MiB,
+    bytes_per_cycle,
+    cycles_to_seconds,
+    fmt_bytes,
+    fmt_cycles,
+)
+
+
+def test_constants():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+    assert LINE_BYTES == 64
+    assert FPGA_SDV_FREQ_HZ == 50_000_000
+
+
+def test_cycles_to_seconds_at_paper_frequency():
+    assert cycles_to_seconds(FPGA_SDV_FREQ_HZ) == 1.0
+    assert cycles_to_seconds(25_000_000) == 0.5
+
+
+def test_cycles_to_seconds_custom_frequency():
+    assert cycles_to_seconds(100, freq_hz=100) == 1.0
+
+
+def test_cycles_to_seconds_rejects_bad_frequency():
+    with pytest.raises(ValueError):
+        cycles_to_seconds(1, freq_hz=0)
+
+
+def test_bytes_per_cycle():
+    assert bytes_per_cycle(640, 10) == 64.0
+    assert bytes_per_cycle(0, 10) == 0.0
+
+
+def test_bytes_per_cycle_zero_cycles():
+    assert bytes_per_cycle(100, 0) == 0.0
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(2 * KiB) == "2.0 KiB"
+    assert fmt_bytes(3 * MiB) == "3.0 MiB"
+    assert fmt_bytes(GiB) == "1.0 GiB"
+
+
+def test_fmt_cycles():
+    assert fmt_cycles(500) == "500 cyc"
+    assert fmt_cycles(1500) == "1.5 kcyc"
+    assert fmt_cycles(2_000_000) == "2.00 Mcyc"

@@ -1,0 +1,85 @@
+"""Unit tests for the cage10-like matrix generator."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import WorkloadError
+from repro.workloads.cage import (
+    CAGE10_STATS,
+    CageStats,
+    cage10_like,
+    cage_like,
+    scaled_cage_like,
+)
+
+
+class TestCage10Like:
+    @pytest.fixture(scope="class")
+    def mat(self):
+        return cage10_like(seed=7)
+
+    def test_shape_matches_cage10(self, mat):
+        assert mat.shape == (CAGE10_STATS.n, CAGE10_STATS.n)
+
+    def test_nnz_close_to_cage10(self, mat):
+        # unique-filtering may drop a few duplicates; stay within 2%
+        assert abs(mat.nnz - CAGE10_STATS.nnz) / CAGE10_STATS.nnz < 0.02
+
+    def test_row_degree_range(self, mat):
+        degs = np.diff(mat.indptr)
+        assert degs.min() >= 1
+        assert degs.max() <= CAGE10_STATS.max_row + 1
+
+    def test_avg_degree(self, mat):
+        degs = np.diff(mat.indptr)
+        assert degs.mean() == pytest.approx(CAGE10_STATS.avg_row, rel=0.05)
+
+    def test_full_diagonal(self, mat):
+        assert (mat.diagonal() != 0).all()
+
+    def test_banded_structure_dominates(self, mat):
+        coo = mat.tocoo()
+        near = np.abs(coo.row - coo.col) <= 600
+        assert near.mean() > 0.5
+
+    def test_deterministic(self):
+        a = cage10_like(seed=7)
+        b = cage10_like(seed=7)
+        assert (a != b).nnz == 0
+
+    def test_seed_changes_matrix(self):
+        a = cage10_like(seed=7)
+        b = cage10_like(seed=8)
+        assert (a != b).nnz > 0
+
+    def test_sorted_indices(self, mat):
+        assert mat.has_sorted_indices
+
+
+class TestScaled:
+    def test_preserves_degree_profile(self):
+        m = scaled_cage_like(1024, seed=7)
+        degs = np.diff(m.indptr)
+        assert degs.mean() == pytest.approx(CAGE10_STATS.avg_row, rel=0.1)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            scaled_cage_like(16)
+
+
+class TestCageLike:
+    def test_custom_stats(self):
+        stats = CageStats(n=500, nnz=5000, min_row=3, max_row=20)
+        m = cage_like(stats, seed=1, bandwidth_rows=50)
+        assert m.shape == (500, 500)
+        assert abs(m.nnz - 5000) < 200
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(WorkloadError):
+            cage_like(CageStats(n=2, nnz=1, min_row=1, max_row=1))
+
+    def test_is_csr(self):
+        m = cage_like(CageStats(n=100, nnz=1000, min_row=3, max_row=20),
+                      seed=1)
+        assert sp.issparse(m) and m.format == "csr"

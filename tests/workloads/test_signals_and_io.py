@@ -1,0 +1,121 @@
+"""Unit tests for signal generation, MatrixMarket IO, and scale presets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.mm_io import read_matrix_market, write_matrix_market
+from repro.workloads.scales import get_scale
+from repro.workloads.signals import make_signal
+
+
+class TestSignals:
+    def test_tones_shape_and_dtype(self):
+        re, im = make_signal(256, kind="tones", seed=3)
+        assert re.shape == im.shape == (256,)
+        assert re.dtype == im.dtype == np.float64
+
+    def test_tones_have_expected_peaks(self):
+        re, im = make_signal(2048, kind="tones", seed=3)
+        spec = np.abs(np.fft.fft(re + 1j * im))
+        peaks = set(np.argsort(spec)[-3:])
+        assert {5, 37, 2048 - 101} == peaks
+
+    def test_impulse_spectrum_flat(self):
+        re, im = make_signal(64, kind="impulse")
+        spec = np.fft.fft(re + 1j * im)
+        assert np.allclose(spec, 1.0)
+
+    def test_noise_deterministic(self):
+        a = make_signal(128, kind="noise", seed=9)
+        b = make_signal(128, kind="noise", seed=9)
+        assert np.array_equal(a[0], b[0])
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_signal(100)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_signal(64, kind="square")
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        import scipy.sparse as sp
+        rng = np.random.default_rng(0)
+        dense = rng.random((10, 10))
+        dense[dense < 0.7] = 0
+        mat = sp.csr_matrix(dense)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, mat, comment="test matrix")
+        back = read_matrix_market(path)
+        assert (mat != back).nnz == 0
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 1\n2 2\n"
+        )
+        m = read_matrix_market(path)
+        assert m.nnz == 2
+        assert m[0, 0] == 1.0
+
+    def test_symmetric_mirrored(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n2 1 5.0\n3 3 1.0\n"
+        )
+        m = read_matrix_market(path)
+        assert m[1, 0] == 5.0 and m[0, 1] == 5.0
+        assert m.nnz == 3  # diagonal entry not duplicated
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n"
+            "1 1 1\n1 1 2.5\n"
+        )
+        assert read_matrix_market(path)[0, 0] == 2.5
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not matrixmarket\n1 1 1\n")
+        with pytest.raises(WorkloadError):
+            read_matrix_market(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "t.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        )
+        with pytest.raises(WorkloadError):
+            read_matrix_market(path)
+
+    def test_out_of_bounds_rejected(self, tmp_path):
+        path = tmp_path / "o.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n"
+        )
+        with pytest.raises(WorkloadError):
+            read_matrix_market(path)
+
+
+class TestScales:
+    def test_paper_scale_matches_section_31(self):
+        s = get_scale("paper")
+        assert s.spmv_n is None            # exact cage10 statistics
+        assert s.graph_nodes == 2 ** 15    # "2^15 nodes"
+        assert s.fft_n == 2048             # "FFT size of 2048 elements"
+
+    def test_ci_smaller_than_paper(self):
+        paper, ci = get_scale("paper"), get_scale("ci")
+        assert ci.graph_nodes < paper.graph_nodes
+        assert ci.fft_n < paper.fft_n
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_scale("huge")
