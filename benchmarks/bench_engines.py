@@ -1,15 +1,21 @@
-"""Simulator-performance benches: the two timing engines themselves.
+"""Simulator-performance benches: the three timing engines themselves.
 
 Not a paper figure — these regression-anchor the tool: the fast engine must
 stay orders of magnitude quicker than the event engine (it is what makes
-whole-paper sweeps practical), classification must amortize across sweep
-points, and the engines must agree on the headline quantity.
+whole-paper sweeps practical), the batch engine must beat per-point fast
+re-timing by a wide margin (it is what makes *paper-scale* sweeps cheap),
+classification must amortize across sweep points, and the engines must
+agree on the headline quantity.
 """
 
+import time
+
 import pytest
+from conftest import LATENCIES, write_result
 
 from repro.core.sweeps import run_implementation
 from repro.engine import simulate_events, simulate_fast
+from repro.engine.batch_sim import batch_cycles
 from repro.kernels import KERNELS
 
 
@@ -47,3 +53,58 @@ def test_engines_agree_on_benchmark_trace(classified, benchmark):
     fast = benchmark(lambda: simulate_fast(classified).cycles)
     event = simulate_events(classified).cycles
     assert fast == pytest.approx(event, rel=0.5)
+
+
+@pytest.fixture(scope="module")
+def spmv_sweep_setup(workloads):
+    """The re-timing half of a SpMV vl256 latency sweep, pre-lowered."""
+    spec = KERNELS["spmv"]
+    sdv, trace = run_implementation(spec, workloads["spmv"], 256,
+                                    verify=False)
+    lowered = sdv.lower(trace)  # also fills the classification cache
+    configs = [sdv.config.with_extra_latency(l) for l in LATENCIES]
+    return sdv, trace, lowered, configs
+
+
+def test_bench_batch_engine(spmv_sweep_setup, benchmark):
+    """One vectorized walk timing the whole Figure-3 latency axis."""
+    _, _, lowered, configs = spmv_sweep_setup
+    cycles = benchmark(batch_cycles, lowered, configs)
+    assert cycles.shape == (len(configs),)
+    assert (cycles > 0).all()
+
+
+def test_bench_batch_vs_fast_retiming_throughput(spmv_sweep_setup):
+    """Record the sweep-engine headline: records*points/sec, batch vs fast.
+
+    This is the paper-sweep inner loop — re-time one already-classified
+    trace at every latency point — so the ratio is the end-to-end speedup
+    a full Figure 3/4/5 regeneration sees after trace generation.
+    """
+    sdv, trace, lowered, configs = spmv_sweep_setup
+    work = lowered.n * len(configs)  # records * sweep points
+
+    reps = 3
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fast = sdv.time_many(trace, configs, engine="fast", reports=False)
+    fast_s = (time.perf_counter() - t0) / reps
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        batch = batch_cycles(lowered, configs)
+    batch_s = (time.perf_counter() - t0) / reps
+
+    assert batch.tolist() == fast.tolist()  # same cycles, to the bit
+    speedup = fast_s / batch_s
+    lines = [
+        "SpMV vl256 latency-sweep re-timing throughput "
+        f"({lowered.n} records x {len(configs)} points)",
+        f"  fast  : {fast_s * 1e3:9.2f} ms/sweep "
+        f"({work / fast_s:12.0f} records*points/s)",
+        f"  batch : {batch_s * 1e3:9.2f} ms/sweep "
+        f"({work / batch_s:12.0f} records*points/s)",
+        f"  speedup: {speedup:.1f}x",
+    ]
+    write_result("engine_retiming_throughput", "\n".join(lines))
+    assert speedup >= 5.0, f"batch engine only {speedup:.1f}x over fast"

@@ -51,7 +51,14 @@ from repro.core import (
     vl_sweep,
 )
 from repro.core.suite import SuiteResult, render_report, run_suite
-from repro.engine import CycleReport, simulate_events, simulate_fast
+from repro.engine import (
+    CycleReport,
+    LoweredTrace,
+    lower_trace,
+    simulate_batch,
+    simulate_events,
+    simulate_fast,
+)
 from repro.engine.noise import MeasuredValue, NoiseModel, measure
 from repro.kernels.micro import MachineProbe, characterize_machine
 from repro.memory import ReuseProfile, profile_trace
@@ -88,6 +95,9 @@ __all__ = [
     "render_figure4",
     "render_figure5",
     "CycleReport",
+    "LoweredTrace",
+    "lower_trace",
+    "simulate_batch",
     "simulate_events",
     "simulate_fast",
     "SuiteResult",

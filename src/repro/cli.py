@@ -4,6 +4,7 @@ Examples::
 
     repro-sdv fig3 --kernel spmv --scale ci
     repro-sdv fig3 --kernel spmv --plot --color    # terminal line plot
+    repro-sdv fig3 --kernel all --jobs 4 --trace-cache .traces
     repro-sdv fig4 --kernel all --scale paper --color
     repro-sdv fig5 --kernel fft
     repro-sdv headline --scale paper
@@ -31,10 +32,12 @@ from repro.core.report import (
 from repro.core.sweeps import (
     DEFAULT_BANDWIDTHS,
     DEFAULT_LATENCIES,
+    DEFAULT_SWEEP_ENGINE,
     DEFAULT_VLS,
     bandwidth_sweep,
     latency_sweep,
 )
+from repro.engine import ENGINES
 from repro.kernels import KERNELS
 from repro.workloads import get_scale
 
@@ -67,6 +70,15 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="skip functional verification against references")
     p.add_argument("--csv", action="store_true",
                    help="emit raw CSV instead of rendered tables")
+    p.add_argument("--engine", default=DEFAULT_SWEEP_ENGINE,
+                   choices=sorted(ENGINES),
+                   help="re-timing engine for sweep points (default batch)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for trace generation "
+                        "(0 = all CPUs, default 1)")
+    p.add_argument("--trace-cache", default=None, metavar="DIR",
+                   help="directory for the on-disk trace cache; repeated "
+                        "runs skip kernel re-execution")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -123,7 +135,9 @@ def main(argv: list[str] | None = None) -> int:
         suite = run_suite(scale_name=args.scale, seed=args.seed,
                           vls=_vls(args.vls),
                           kernels=_kernel_names(args.kernel),
-                          verify=not args.no_verify)
+                          verify=not args.no_verify,
+                          engine=args.engine, jobs=args.jobs,
+                          trace_cache=args.trace_cache)
         text = render_report(suite, seed=args.seed)
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text)
@@ -162,7 +176,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "headline":
         spec = KERNELS["spmv"]
         workload = spec.prepare(scale, args.seed)
-        result = latency_sweep(spec, workload, vls=vls, verify=verify)
+        result = latency_sweep(spec, workload, vls=vls, verify=verify,
+                               engine=args.engine, jobs=args.jobs,
+                               trace_cache=args.trace_cache)
         print(render_headline(headline_numbers(result)))
         return 0
 
@@ -215,7 +231,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "fig3":
             result = latency_sweep(spec, workload,
                                    latencies=DEFAULT_LATENCIES, vls=vls,
-                                   verify=verify)
+                                   verify=verify, engine=args.engine,
+                                   jobs=args.jobs,
+                                   trace_cache=args.trace_cache)
             if args.csv:
                 print(result.to_csv())
             elif args.plot:
@@ -225,13 +243,17 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "fig4":
             result = latency_sweep(spec, workload,
                                    latencies=DEFAULT_LATENCIES, vls=vls,
-                                   verify=verify)
+                                   verify=verify, engine=args.engine,
+                                   jobs=args.jobs,
+                                   trace_cache=args.trace_cache)
             print(result.to_csv() if args.csv
                   else render_figure4(result, color=args.color))
         elif args.command == "fig5":
             result = bandwidth_sweep(spec, workload,
                                      bandwidths=DEFAULT_BANDWIDTHS, vls=vls,
-                                     verify=verify)
+                                     verify=verify, engine=args.engine,
+                                     jobs=args.jobs,
+                                     trace_cache=args.trace_cache)
             if args.csv:
                 print(result.to_csv())
             elif args.plot:

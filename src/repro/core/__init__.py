@@ -5,7 +5,9 @@ FPGA-SDV and the four kernels, it runs the paper's three sweeps and renders
 the paper's figures/tables:
 
 * :mod:`sweeps` — latency sweep (Section 4.1), bandwidth sweep (Section
-  4.2), and VL sweep, with trace/classification reuse across sweep points;
+  4.2), and VL sweep; one trace per implementation, batch-engine re-timing
+  of all sweep points at once, optional on-disk trace cache;
+* :mod:`parallel` — process-pool fan-out of trace generation (``jobs=N``);
 * :mod:`measurements` — result containers, CSV export;
 * :mod:`figures` — Figure 3 (time vs latency), Figure 4 (normalized
   slowdown heat tables), Figure 5 (normalized time vs bandwidth), plus the
@@ -16,14 +18,17 @@ the paper's figures/tables:
 """
 
 from repro.core.measurements import Measurement, SweepResult
+from repro.core.parallel import default_jobs, resolve_jobs, run_tasks
 from repro.core.sweeps import (
     DEFAULT_BANDWIDTHS,
     DEFAULT_LATENCIES,
+    DEFAULT_SWEEP_ENGINE,
     DEFAULT_VLS,
     bandwidth_sweep,
     latency_sweep,
     run_implementation,
     vl_sweep,
+    workload_fingerprint,
 )
 from repro.core.figures import (
     figure3_series,
@@ -52,11 +57,16 @@ __all__ = [
     "SweepResult",
     "DEFAULT_BANDWIDTHS",
     "DEFAULT_LATENCIES",
+    "DEFAULT_SWEEP_ENGINE",
     "DEFAULT_VLS",
     "bandwidth_sweep",
+    "default_jobs",
     "latency_sweep",
+    "resolve_jobs",
     "run_implementation",
+    "run_tasks",
     "vl_sweep",
+    "workload_fingerprint",
     "figure3_series",
     "figure4_table",
     "figure5_series",

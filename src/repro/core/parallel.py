@@ -1,0 +1,61 @@
+"""Process-pool fan-out for trace generation.
+
+A paper sweep re-times cheaply (the batch engine) but still has to
+*generate* one trace per (kernel, implementation) pair — functional
+execution of the kernel through the RVV intrinsics layer, the expensive
+stage of the pipeline. Those generations are independent, so the sweep
+harness fans them out across worker processes.
+
+Workers receive (kernel-name, workload, knobs) task tuples, rebuild the
+spec from the :data:`repro.kernels.KERNELS` registry, and return only the
+finished :class:`repro.core.measurements.Measurement` rows — traces never
+cross the process boundary (they are large; measurements are tiny).
+
+``run_tasks`` degrades gracefully: if the platform cannot spawn worker
+processes (sandboxes without fork/semaphores) or a worker pool fails to
+come up, it falls back to in-process execution so ``jobs=N`` is always
+safe to request.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """Worker count for ``jobs=0`` requests: one per available CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``jobs`` knob: 0 means "all CPUs", floor at 1."""
+    if jobs == 0:
+        return default_jobs()
+    return max(1, jobs)
+
+
+def run_tasks(fn: Callable[[T], R], tasks: Sequence[T], *,
+              jobs: int = 1) -> list[R]:
+    """``[fn(t) for t in tasks]``, fanned across ``jobs`` processes.
+
+    Results come back in task order. ``fn`` and every task must be
+    picklable (module-level function, plain-data arguments). With
+    ``jobs<=1``, a single task, or an unusable multiprocessing platform,
+    runs everything in-process.
+    """
+    jobs = resolve_jobs(jobs)
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(t) for t in tasks]
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            return list(pool.map(fn, tasks))
+    except (OSError, PermissionError, NotImplementedError):
+        # no fork/semaphores available (restricted sandbox): run serially
+        return [fn(t) for t in tasks]

@@ -26,6 +26,7 @@ from repro.core.report import (
 from repro.core.sweeps import (
     DEFAULT_BANDWIDTHS,
     DEFAULT_LATENCIES,
+    DEFAULT_SWEEP_ENGINE,
     DEFAULT_VLS,
     bandwidth_sweep,
     latency_sweep,
@@ -51,8 +52,18 @@ class SuiteResult:
 def run_suite(*, scale_name: str = "ci", seed: int = 7,
               vls: tuple[int, ...] = DEFAULT_VLS,
               kernels: list[str] | None = None,
-              verify: bool = True) -> SuiteResult:
-    """Run the full experimental matrix; returns all sweep results."""
+              verify: bool = True,
+              engine: str = DEFAULT_SWEEP_ENGINE,
+              jobs: int = 1,
+              trace_cache: str | None = None) -> SuiteResult:
+    """Run the full experimental matrix; returns all sweep results.
+
+    ``engine``/``jobs``/``trace_cache`` are forwarded to the sweeps: batch
+    re-timing by default, ``jobs=N`` fans trace generation across worker
+    processes, and a cache directory makes repeated runs skip functional
+    execution entirely (with a cache set, the bandwidth sweep reuses the
+    traces the latency sweep just recorded).
+    """
     t0 = time.time()
     scale = get_scale(scale_name)
     names = kernels if kernels is not None else list(KERNELS)
@@ -62,10 +73,12 @@ def run_suite(*, scale_name: str = "ci", seed: int = 7,
         workload = spec.prepare(scale, seed)
         out.latency[name] = latency_sweep(
             spec, workload, latencies=DEFAULT_LATENCIES, vls=vls,
-            verify=verify)
+            verify=verify, engine=engine, jobs=jobs,
+            trace_cache=trace_cache)
         out.bandwidth[name] = bandwidth_sweep(
             spec, workload, bandwidths=DEFAULT_BANDWIDTHS, vls=vls,
-            verify=False)
+            verify=False, engine=engine, jobs=jobs,
+            trace_cache=trace_cache)
     out.elapsed_s = time.time() - t0
     return out
 

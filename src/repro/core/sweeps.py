@@ -4,10 +4,18 @@ Efficiency structure (what makes paper-scale sweeps tractable):
 
 * the trace of one (kernel, implementation) pair is generated **once** —
   the Latency Controller and Bandwidth Limiter knobs do not change what the
-  program does, only how long it takes (exactly like the FPGA);
-* the cache classification of that trace is computed **once** (cache
-  geometry is knob-independent) and cached on the trace;
-* each sweep point is then a cheap re-timing pass.
+  program does, only how long it takes (exactly like the FPGA) — and can be
+  persisted to an on-disk cache (``trace_cache=``) so repeated runs skip
+  functional re-execution entirely;
+* the cache classification and lowering of that trace are computed **once**
+  (both are knob-independent) and cached on the trace;
+* every sweep point of the trace is then timed in **one** batch-engine walk
+  (:mod:`repro.engine.batch_sim`) with the knob axis vectorized — not one
+  re-timing pass per point;
+* trace generation for the different implementations fans out across worker
+  processes (``jobs=N``, :mod:`repro.core.parallel`);
+* the reference result used for verification is computed once per
+  (kernel, workload), not once per implementation.
 
 The default sweep axes follow Section 4: extra latency 0..1024 cycles,
 bandwidth 1..64 B/cycle in powers of two, VL in {8,...,256} plus scalar.
@@ -15,14 +23,20 @@ bandwidth 1..64 B/cycle in powers of two, VL in {8,...,256} plus scalar.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from collections.abc import Iterable, Sequence
+from pathlib import Path
 
 from repro.config import SdvConfig
 from repro.core.measurements import Measurement, SweepResult
-from repro.errors import KernelError
+from repro.core.parallel import run_tasks
+from repro.errors import KernelError, TraceError
 from repro.kernels.base import KernelSpec
 from repro.soc.sdv import FpgaSdv
 from repro.trace.events import TraceBuffer
+from repro.trace.serialize import load_trace, save_trace
 
 #: Figure 3/4 x-axis: extra latency cycles added by the Latency Controller.
 DEFAULT_LATENCIES: tuple[int, ...] = (0, 32, 64, 128, 256, 512, 1024)
@@ -33,10 +47,35 @@ DEFAULT_BANDWIDTHS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
 #: vector lengths evaluated in the paper (doubles per register).
 DEFAULT_VLS: tuple[int, ...] = (8, 16, 32, 64, 128, 256)
 
+#: engine used to re-time sweep points unless the caller overrides it.
+DEFAULT_SWEEP_ENGINE = "batch"
+
 
 def impl_label(vl: int | None) -> str:
     """Column label: None -> 'scalar', 128 -> 'vl128'."""
     return "scalar" if vl is None else f"vl{vl}"
+
+
+def workload_fingerprint(workload) -> str:
+    """Stable content hash of a prepared workload (trace-cache key part).
+
+    Workloads are plain data (NumPy arrays, scipy matrices, graphs), so
+    their pickle is deterministic for a given prepare(scale, seed).
+    """
+    payload = pickle.dumps(workload, protocol=4)
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def trace_cache_path(cache_dir: str | os.PathLike, spec_name: str,
+                     workload, vl: int | None, sdv: FpgaSdv) -> Path:
+    """Cache file for one (kernel, workload, max_vl, geometry) trace."""
+    geom = hashlib.sha256(
+        repr((sdv.geometry_key(), sdv.config.memory_bytes,
+              None if vl is None else sdv.max_vl)).encode()
+    ).hexdigest()[:12]
+    name = (f"{spec_name}-{impl_label(vl)}-"
+            f"{workload_fingerprint(workload)}-{geom}.npz")
+    return Path(cache_dir) / name
 
 
 def run_implementation(
@@ -46,25 +85,49 @@ def run_implementation(
     *,
     config: SdvConfig | None = None,
     verify: bool = True,
+    reference=None,
+    trace_cache: str | os.PathLike | None = None,
 ) -> tuple[FpgaSdv, TraceBuffer]:
     """Build one implementation's trace on a fresh SDV.
 
     Returns the SDV (holding the workload's memory image configuration) and
     the sealed trace, ready to be re-timed at many knob settings.
+
+    ``reference`` lets callers hoist ``spec.reference(workload)`` out of a
+    per-implementation loop (it is identical for every VL); when omitted
+    and ``verify`` is set, it is computed here. With ``trace_cache`` set, a
+    previously recorded trace is loaded instead of re-executing the kernel
+    (skipping verification — the cached trace was verified when recorded),
+    and fresh traces are saved back to the cache.
     """
     sdv = FpgaSdv(config)
     if vl is not None:
         sdv.configure(max_vl=vl)
+
+    cache_path = None
+    if trace_cache is not None:
+        root = Path(trace_cache)
+        if root.exists() and not root.is_dir():
+            raise TraceError(
+                f"trace cache path '{root}' exists and is not a directory"
+            )
+        cache_path = trace_cache_path(root, spec.name, workload, vl, sdv)
+        if cache_path.exists():
+            return sdv, load_trace(cache_path)
+
     session = sdv.session()
     builder = spec.vector if vl is not None else spec.scalar
     output = builder(session, workload)
     trace = session.seal()
     if verify:
-        ref = spec.reference(workload)
+        ref = spec.reference(workload) if reference is None else reference
         if not spec.check(output, ref):
             raise KernelError(
                 f"{spec.name}/{impl_label(vl)} produced a wrong result"
             )
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        save_trace(trace, cache_path)
     return sdv, trace
 
 
@@ -72,6 +135,88 @@ def _impls(vls: Sequence[int], include_scalar: bool) -> list[int | None]:
     out: list[int | None] = [None] if include_scalar else []
     out.extend(vls)
     return out
+
+
+def _sweep_configs(base: SdvConfig, axis: str,
+                   points: Sequence[int]) -> list[SdvConfig]:
+    if axis == "latency":
+        return [base.with_extra_latency(p) for p in points]
+    return [base.with_bandwidth(p) for p in points]
+
+
+def _time_one_impl(spec: KernelSpec, workload, vl: int | None, axis: str,
+                   points: Sequence[int], config: SdvConfig | None,
+                   verify: bool, reference, keep_reports: bool, engine: str,
+                   trace_cache) -> list[Measurement]:
+    """Generate + time one implementation across all points of one axis."""
+    sdv, trace = run_implementation(spec, workload, vl, config=config,
+                                    verify=verify, reference=reference,
+                                    trace_cache=trace_cache)
+    configs = _sweep_configs(sdv.config, axis, points)
+    label = impl_label(vl)
+    base_lat = sdv.extra_latency
+    base_bpc = int(sdv.bandwidth_bpc)
+
+    def measurement(point, cycles, report):
+        return Measurement(
+            kernel=spec.name, impl=label,
+            extra_latency=point if axis == "latency" else base_lat,
+            bandwidth_bpc=point if axis == "bandwidth" else base_bpc,
+            cycles=cycles, report=report,
+        )
+
+    if engine == "batch" and not keep_reports:
+        # compact path: one vectorized walk, a bare cycles vector, no
+        # intermediate CycleReport garbage
+        cycles = sdv.time_many(trace, configs, engine="batch",
+                               reports=False)
+        return [measurement(p, float(c), None)
+                for p, c in zip(points, cycles)]
+
+    reports = sdv.time_many(trace, configs, engine=engine)
+    return [measurement(p, r.cycles, r if keep_reports else None)
+            for p, r in zip(points, reports)]
+
+
+def _impl_task(args) -> list[Measurement]:
+    """Module-level worker: one (kernel, implementation) per process task."""
+    (spec_or_name, workload, vl, axis, points, config, verify, reference,
+     keep_reports, engine, trace_cache) = args
+    if isinstance(spec_or_name, str):
+        from repro.kernels import KERNELS  # registry lookup in the worker
+
+        spec = KERNELS[spec_or_name]
+    else:
+        spec = spec_or_name
+    return _time_one_impl(spec, workload, vl, axis, points, config, verify,
+                          reference, keep_reports, engine, trace_cache)
+
+
+def _sweep(spec: KernelSpec, workload, axis: str, points: list[int],
+           vls: Sequence[int], include_scalar: bool,
+           config: SdvConfig | None, verify: bool, keep_reports: bool,
+           engine: str, jobs: int, trace_cache) -> SweepResult:
+    impls = _impls(vls, include_scalar)
+    result = SweepResult(
+        kernel=spec.name, axis=axis, points=points,
+        impls=[impl_label(v) for v in impls],
+    )
+    # hoist the reference: identical for every implementation
+    reference = spec.reference(workload) if verify else None
+    # registry kernels travel to workers by name (always picklable);
+    # ad-hoc specs travel as themselves
+    from repro.kernels import KERNELS
+
+    payload = spec.name if KERNELS.get(spec.name) is spec else spec
+    tasks = [
+        (payload, workload, vl, axis, points, config, verify, reference,
+         keep_reports, engine, trace_cache)
+        for vl in impls
+    ]
+    for measurements in run_tasks(_impl_task, tasks, jobs=jobs):
+        for m in measurements:
+            result.add(m)
+    return result
 
 
 def latency_sweep(
@@ -84,26 +229,14 @@ def latency_sweep(
     config: SdvConfig | None = None,
     verify: bool = True,
     keep_reports: bool = False,
+    engine: str = DEFAULT_SWEEP_ENGINE,
+    jobs: int = 1,
+    trace_cache: str | os.PathLike | None = None,
 ) -> SweepResult:
     """Section 4.1: execution time vs. extra memory latency."""
-    latencies = list(latencies)
-    impls = _impls(vls, include_scalar)
-    result = SweepResult(
-        kernel=spec.name, axis="latency", points=latencies,
-        impls=[impl_label(v) for v in impls],
-    )
-    for vl in impls:
-        sdv, trace = run_implementation(spec, workload, vl, config=config,
-                                        verify=verify)
-        for lat in latencies:
-            sdv.configure(extra_latency=lat)
-            report = sdv.time(trace)
-            result.add(Measurement(
-                kernel=spec.name, impl=impl_label(vl), extra_latency=lat,
-                bandwidth_bpc=int(sdv.bandwidth_bpc), cycles=report.cycles,
-                report=report if keep_reports else None,
-            ))
-    return result
+    return _sweep(spec, workload, "latency", list(latencies), vls,
+                  include_scalar, config, verify, keep_reports, engine,
+                  jobs, trace_cache)
 
 
 def bandwidth_sweep(
@@ -116,27 +249,14 @@ def bandwidth_sweep(
     config: SdvConfig | None = None,
     verify: bool = True,
     keep_reports: bool = False,
+    engine: str = DEFAULT_SWEEP_ENGINE,
+    jobs: int = 1,
+    trace_cache: str | os.PathLike | None = None,
 ) -> SweepResult:
     """Section 4.2: execution time vs. the Bandwidth Limiter setting."""
-    bandwidths = list(bandwidths)
-    impls = _impls(vls, include_scalar)
-    result = SweepResult(
-        kernel=spec.name, axis="bandwidth", points=bandwidths,
-        impls=[impl_label(v) for v in impls],
-    )
-    for vl in impls:
-        sdv, trace = run_implementation(spec, workload, vl, config=config,
-                                        verify=verify)
-        for bpc in bandwidths:
-            sdv.configure(bandwidth_bpc=bpc)
-            report = sdv.time(trace)
-            result.add(Measurement(
-                kernel=spec.name, impl=impl_label(vl),
-                extra_latency=sdv.extra_latency, bandwidth_bpc=bpc,
-                cycles=report.cycles,
-                report=report if keep_reports else None,
-            ))
-    return result
+    return _sweep(spec, workload, "bandwidth", list(bandwidths), vls,
+                  include_scalar, config, verify, keep_reports, engine,
+                  jobs, trace_cache)
 
 
 def vl_sweep(
@@ -146,12 +266,15 @@ def vl_sweep(
     vls: Sequence[int] = DEFAULT_VLS,
     config: SdvConfig | None = None,
     verify: bool = True,
+    trace_cache: str | os.PathLike | None = None,
 ) -> dict[str, float]:
     """Execution time per implementation at the default knob settings
     (the zero-extra-latency, full-bandwidth column of Figures 3/4)."""
     out: dict[str, float] = {}
+    reference = spec.reference(workload) if verify else None
     for vl in _impls(vls, include_scalar=True):
         sdv, trace = run_implementation(spec, workload, vl, config=config,
-                                        verify=verify)
+                                        verify=verify, reference=reference,
+                                        trace_cache=trace_cache)
         out[impl_label(vl)] = sdv.time(trace).cycles
     return out

@@ -1,21 +1,53 @@
 """Timing engines.
 
-Two engines consume a :class:`repro.memory.classify.ClassifiedTrace`:
+Three engines consume a :class:`repro.memory.classify.ClassifiedTrace`:
 
-* :func:`repro.engine.fast_sim.simulate_fast` — a vectorized/per-record
-  analytical walk of the machine (scalar core + decoupled VPU + throttled
-  memory). Used for all sweeps; milliseconds per run.
+* :func:`repro.engine.fast_sim.simulate_fast` — a per-record analytical
+  walk of the machine (scalar core + decoupled VPU + throttled memory).
+  Milliseconds per run; the single-point reference for the batch engine.
+* :func:`repro.engine.batch_sim.simulate_batch` — the sweep engine: lowers
+  the classified trace once (:mod:`repro.engine.lower`) into flat
+  knob-independent arrays, then times **all** sweep points in a single walk
+  with the knob axis as a vectorized NumPy dimension. Bit-identical cycles
+  to the fast engine at every point.
 * :func:`repro.engine.event_sim.simulate_events` — a discrete-event
   reference model at line-request granularity. Slower, used to validate the
-  fast engine and for detailed single runs.
+  analytical engines and for detailed single runs.
 
-Both share the cost models in :mod:`core_model` and :mod:`vpu_model`, so a
+All share the cost models in :mod:`core_model` and :mod:`vpu_model`, so a
 disagreement between them localizes to queueing/overlap behaviour, which is
 exactly what the cross-validation tests probe.
+
+``ENGINES`` maps engine names to single-trace entry points (each takes one
+classified trace, returns one :class:`CycleReport`); ``FpgaSdv`` and the
+CLI resolve ``engine=`` strings through it.
 """
 
 from repro.engine.results import CycleReport
 from repro.engine.fast_sim import simulate_fast
 from repro.engine.event_sim import simulate_events
+from repro.engine.lower import LoweredTrace, lower_trace
+from repro.engine.batch_sim import (
+    batch_cycles,
+    simulate_batch,
+    simulate_batch_one,
+)
 
-__all__ = ["CycleReport", "simulate_fast", "simulate_events"]
+#: name -> ClassifiedTrace -> CycleReport registry (one entry per engine).
+ENGINES = {
+    "fast": simulate_fast,
+    "event": simulate_events,
+    "batch": simulate_batch_one,
+}
+
+__all__ = [
+    "CycleReport",
+    "ENGINES",
+    "LoweredTrace",
+    "batch_cycles",
+    "lower_trace",
+    "simulate_batch",
+    "simulate_batch_one",
+    "simulate_events",
+    "simulate_fast",
+]

@@ -1,0 +1,311 @@
+"""Batch timing engine: every sweep point of one trace in a single walk.
+
+``simulate_fast`` walks the classified trace once *per knob setting*; a
+paper sweep calls it 7-49 times per (kernel, implementation) trace. This
+engine walks the trace **once for all settings**: the per-record frontier
+recurrence is identical at every sweep point, so each machine frontier
+(scalar core, arithmetic pipe, AGU, memory queue, line-MSHR pool) becomes a
+length-``K`` vector — one element per configuration — and every step of the
+recurrence is a NumPy broadcast over that knob axis.
+
+Everything knob-independent was precomputed by :func:`repro.engine.lower.
+lower_trace`; per batch call only the latency-proportional and
+bandwidth-proportional matrices are materialized (vectorized over records
+*and* configs). The arithmetic matches :func:`simulate_fast` operation for
+operation, so the two agree bit-for-bit — the agreement tests pin exact
+cycle equality on all four kernels.
+
+Configurations in one batch must share everything except the two runtime
+sweep knobs (Latency Controller ``extra_latency_cycles`` and Bandwidth
+Limiter ``bw_num/bw_den``); :class:`repro.errors.EngineError` otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.config import SdvConfig
+from repro.engine import core_model, vpu_model
+from repro.engine.lower import (
+    FIRST_DRAM,
+    FIRST_L2,
+    LKIND_BARRIER,
+    LKIND_CSR,
+    LKIND_SCALAR,
+    LKIND_VARITH,
+    LKIND_VMEM,
+    LoweredTrace,
+    knob_free_config,
+    lower_trace,
+)
+from repro.engine.results import CycleReport
+from repro.errors import EngineError
+from repro.memory.classify import ClassifiedTrace
+
+
+def _check_configs(lowered: LoweredTrace,
+                   configs: Sequence[SdvConfig]) -> None:
+    if not configs:
+        raise EngineError("simulate_batch needs at least one config")
+    for k, cfg in enumerate(configs):
+        if knob_free_config(cfg) != lowered.base_key:
+            raise EngineError(
+                f"config {k} differs from the lowered trace in more than "
+                "the latency/bandwidth knobs; re-lower the trace for it"
+            )
+
+
+def _knob_axes(lowered: LoweredTrace, configs: Sequence[SdvConfig]):
+    """The two knob vectors: DRAM latency and limiter window per config."""
+    base = lowered.base
+    # identical float path to SdvConfig.dram_latency: (l2 + service) + extra
+    lat_base = base.l2_hit_latency + base.mem.dram_service_cycles
+    lat = np.array([lat_base + c.mem.extra_latency_cycles for c in configs],
+                   dtype=np.float64)
+    den = np.array([c.mem.bw_den for c in configs], dtype=np.float64)
+    num = np.array([c.mem.bw_num for c in configs], dtype=np.float64)
+    return lat, den, num
+
+
+def _walk(lowered: LoweredTrace, lat: np.ndarray, den: np.ndarray,
+          num: np.ndarray) -> dict:
+    """Run the frontier recurrence once with the knob axis vectorized.
+
+    Returns the end-time vector plus the knob-dependent breakdown pieces.
+    """
+    K = lat.shape[0]
+    n = lowered.n
+    base = lowered.base
+    vpu = base.vpu
+    chaining = vpu.chaining
+    ooo = vpu.ooo_mem_issue
+    q_depth = vpu.mem_queue_depth
+    line_mshrs = vpu.line_mshrs
+    pipe_lat = vpu_model.arith_latency(base)
+    PIPE = vpu_model.LANE_PIPE_DEPTH
+    DISPATCH = core_model.VECTOR_DISPATCH_CYCLES
+    VSETVL = core_model.VSETVL_CYCLES
+    XFER = core_model.SCALAR_RESULT_TRANSFER_CYCLES
+
+    # knob-dependent per-record matrices, vectorized over (records, K) ----
+    bw_win = den / num                                      # cycles per txn
+    sc_total = np.maximum(
+        lowered.sc_const[:, None]
+        + lowered.sc_dram_reads[:, None] * lat[None, :] / lowered.sc_p[:, None],
+        lowered.sc_bw_txns[:, None] * den[None, :] / num[None, :],
+    )
+    vm_service = np.maximum(
+        lowered.vm_lines[:, None],
+        lowered.vm_l2_lines[:, None]
+        + lowered.vm_txns[:, None] * den[None, :] / num[None, :],
+    )
+    vm_busy = np.maximum(lowered.vm_addr[:, None], vm_service)
+    fk = lowered.vm_first_kind[:, None]
+    vm_first = np.where(fk == FIRST_DRAM, lat[None, :],
+                        np.where(fk == FIRST_L2, base.l2_hit_latency, 0.0))
+    vm_mshr_inc = lowered.vm_dram_reads[:, None] * lat[None, :] / line_mshrs
+    has_dram = lowered.vm_dram_reads > 0
+
+    # frontiers, one element per config -----------------------------------
+    t_scalar = np.zeros(K)
+    t_arith = np.zeros(K)
+    t_arith_done = np.zeros(K)
+    t_agu = np.zeros(K)
+    t_mshr = np.zeros(K)
+    t_vmem_done = np.zeros(K)
+
+    start = np.zeros((n, K))
+    completion = np.zeros((n, K))
+    first_lat = np.zeros((n, K))
+    mem_comp = np.empty((lowered.n_vmem, K))
+    n_mem = 0
+
+    kinds = lowered.kind
+    deps = lowered.dep
+    slots = lowered.slot
+    sdest = lowered.scalar_dest
+    va_occ = lowered.va_occ
+    maximum = np.maximum
+
+    for i in range(n):
+        kind = kinds[i]
+
+        if kind == LKIND_SCALAR:
+            t_scalar = t_scalar + sc_total[slots[i]]
+            continue
+
+        if kind == LKIND_CSR:
+            t_scalar = t_scalar + VSETVL
+            start[i] = t_scalar
+            completion[i] = t_scalar
+            continue
+
+        if kind == LKIND_BARRIER:
+            t_sync = maximum(maximum(t_scalar, t_arith),
+                             maximum(t_arith_done, t_vmem_done))
+            t_mshr = np.minimum(t_mshr, t_sync)
+            t_scalar = t_sync
+            t_arith = t_sync
+            t_arith_done = t_sync
+            t_agu = t_sync
+            t_vmem_done = t_sync
+            start[i] = t_sync
+            completion[i] = t_sync
+            continue
+
+        dep = deps[i]
+
+        if kind == LKIND_VARITH:
+            occ = va_occ[slots[i]]
+            dispatch = t_scalar + DISPATCH
+            t_scalar = dispatch
+
+            ready = dispatch
+            floor = None
+            if dep >= 0:
+                if chaining:
+                    ready = maximum(ready,
+                                    start[dep] + first_lat[dep] + PIPE)
+                    floor = completion[dep] + PIPE
+                else:
+                    ready = maximum(ready, completion[dep])
+            s = maximum(ready, t_arith)
+            t_arith = s + occ
+            c = t_arith + pipe_lat
+            if floor is not None:
+                c = maximum(c, floor)
+            t_arith_done = maximum(t_arith_done, c)
+            start[i] = s
+            completion[i] = c
+            if sdest[i]:
+                t_scalar = maximum(t_scalar, c + XFER)
+            continue
+
+        # LKIND_VMEM
+        slot = slots[i]
+        dispatch = t_scalar + DISPATCH
+        t_scalar = dispatch
+
+        ready = dispatch
+        floor = None
+        if dep >= 0:
+            if chaining:
+                ready = maximum(ready, start[dep] + first_lat[dep] + PIPE)
+                floor = completion[dep] + PIPE
+            else:
+                ready = maximum(ready, completion[dep])
+
+        slot_free = mem_comp[n_mem - q_depth] if n_mem >= q_depth else None
+
+        if ooo:
+            agu_slot = maximum(t_agu, dispatch)
+            if slot_free is not None:
+                agu_slot = maximum(agu_slot, slot_free)
+            t_agu = agu_slot + lowered.vm_addr[slot]
+            s = maximum(agu_slot, ready)
+        else:
+            s = maximum(ready, t_agu)
+            if slot_free is not None:
+                s = maximum(s, slot_free)
+            t_agu = s + lowered.vm_addr[slot]
+
+        fl = vm_first[slot]
+        c = s + fl + vm_busy[slot]
+        if floor is not None:
+            c = maximum(c, floor)
+        if has_dram[slot]:
+            t_mshr = maximum(t_mshr, s + lat) + vm_mshr_inc[slot]
+            c = maximum(c, t_mshr)
+        mem_comp[n_mem] = c
+        n_mem += 1
+        t_vmem_done = maximum(t_vmem_done, c)
+        start[i] = s
+        completion[i] = c
+        first_lat[i] = fl
+
+    t_end = maximum(maximum(t_scalar, t_arith),
+                    maximum(t_arith_done, t_vmem_done))
+
+    # global Bandwidth Limiter floor (exact integer closed form per config)
+    total = lowered.total_dram_reads + lowered.total_dram_writes
+    bw_floor = np.zeros(K)
+    if total > 0:
+        for k in range(K):
+            bw_floor[k] = (((total - 1) // int(num[k])) * int(den[k]) + 1.0
+                           + lat[k])
+    cycles = maximum(t_end, bw_floor)
+
+    return {
+        "cycles": cycles,
+        "bw_floor": bw_floor,
+        "sc_total": sc_total,
+        "vm_busy": vm_busy,
+        "bw_win": bw_win,
+        "lat": lat,
+    }
+
+
+def batch_cycles(lowered: LoweredTrace,
+                 configs: Sequence[SdvConfig]) -> np.ndarray:
+    """Cycle counts only, one per config — no :class:`CycleReport` garbage.
+
+    This is the ``keep_reports=False`` sweep path: a compact float64 vector
+    the harness turns directly into :class:`Measurement` rows.
+    """
+    configs = list(configs)
+    _check_configs(lowered, configs)
+    if lowered.n == 0:
+        return np.zeros(len(configs))
+    lat, den, num = _knob_axes(lowered, configs)
+    return _walk(lowered, lat, den, num)["cycles"]
+
+
+def simulate_batch(lowered: LoweredTrace,
+                   configs: Sequence[SdvConfig]) -> list[CycleReport]:
+    """Time one lowered trace at every config; one report per config.
+
+    ``simulate_batch(lowered, [c1..cK])[k]`` equals
+    ``simulate_fast(classified trace rebound to ck)`` cycle-for-cycle.
+    """
+    configs = list(configs)
+    _check_configs(lowered, configs)
+    K = len(configs)
+    if lowered.n == 0:
+        return [CycleReport(cycles=0.0, engine="batch") for _ in range(K)]
+
+    lat, den, num = _knob_axes(lowered, configs)
+    out = _walk(lowered, lat, den, num)
+
+    issue = float(lowered.sc_issue.sum())
+    stall_l2 = float(lowered.sc_stall_l2.sum())
+    stall_dram_per_lat = float((lowered.sc_dram_reads / lowered.sc_p).sum())
+    varith = float(lowered.va_occ.sum())
+    vmem = out["vm_busy"].sum(axis=0) if lowered.n_vmem else np.zeros(K)
+
+    return [
+        CycleReport(
+            cycles=float(out["cycles"][k]),
+            engine="batch",
+            scalar_issue_cycles=issue,
+            scalar_stall_cycles=stall_l2 + stall_dram_per_lat * lat[k],
+            vpu_arith_cycles=varith,
+            vpu_mem_cycles=float(vmem[k]),
+            bandwidth_bound_cycles=float(out["bw_floor"][k]),
+            dram_reads=lowered.total_dram_reads,
+            dram_writes=lowered.total_dram_writes,
+            meta={"records": lowered.n, "batch_size": K},
+        )
+        for k in range(K)
+    ]
+
+
+def simulate_batch_one(ct: ClassifiedTrace) -> CycleReport:
+    """Engine-registry adapter: time a classified trace at its own config.
+
+    Lowers on the fly; callers that re-time many points should lower once
+    (via :meth:`repro.soc.FpgaSdv.time_many`, which also caches the lowered
+    form on the trace) and call :func:`simulate_batch` directly.
+    """
+    return simulate_batch(lower_trace(ct), [ct.config])[0]

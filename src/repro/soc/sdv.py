@@ -18,9 +18,14 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from collections.abc import Sequence
+
+import numpy as np
+
 from repro.config import SdvConfig
-from repro.engine.event_sim import simulate_events
-from repro.engine.fast_sim import simulate_fast
+from repro.engine import ENGINES
+from repro.engine.batch_sim import batch_cycles, simulate_batch
+from repro.engine.lower import LoweredTrace, knob_free_config, lower_trace
 from repro.engine.results import CycleReport
 from repro.errors import ConfigError
 from repro.isa.csr import CsrFile
@@ -30,8 +35,6 @@ from repro.memory.address_space import MemoryImage
 from repro.memory.classify import ClassifiedTrace, classify_trace
 from repro.soc.hwcounters import HwCounters
 from repro.trace.events import TraceBuffer
-
-_ENGINES = {"fast": simulate_fast, "event": simulate_events}
 
 
 @dataclass
@@ -55,9 +58,9 @@ class FpgaSdv:
     def __init__(self, config: SdvConfig | None = None, *,
                  engine: str = "fast") -> None:
         self.config = (config if config is not None else SdvConfig()).validate()
-        if engine not in _ENGINES:
+        if engine not in ENGINES:
             raise ConfigError(
-                f"unknown engine '{engine}' (choose from {sorted(_ENGINES)})"
+                f"unknown engine '{engine}' (choose from {sorted(ENGINES)})"
             )
         self.engine = engine
         self.counters = HwCounters()
@@ -110,13 +113,17 @@ class FpgaSdv:
 
     # ------------------------------------------------------------- timing
 
-    def _geometry_key(self) -> tuple:
+    def geometry_key(self) -> tuple:
+        """The config fields classification depends on (cache-key tuple)."""
         c = self.config
         return (
             c.core.l1d_bytes, c.core.l1d_ways, c.core.l1_prefetch_depth,
             c.l2.banks, c.l2.bank_bytes, c.l2.ways,
             c.vpu.coalesce_gathers,
         )
+
+    # backwards-compatible alias
+    _geometry_key = geometry_key
 
     def classify(self, trace: TraceBuffer) -> ClassifiedTrace:
         """Classify (or fetch the cached classification of) a sealed trace."""
@@ -132,13 +139,71 @@ class FpgaSdv:
         # re-bind the current knob settings (latency/bandwidth/VPU timing)
         return dataclasses.replace(ct, config=self.config)
 
+    def lower(self, trace: TraceBuffer) -> LoweredTrace:
+        """Lower (or fetch the cached lowering of) a sealed trace.
+
+        Like classification, lowering is knob-independent, so it is cached
+        on the trace object keyed by the knob-free config and amortizes
+        across every sweep point and every batch call.
+        """
+        cache = getattr(trace, "_lowered_cache", None)
+        if cache is None:
+            cache = {}
+            setattr(trace, "_lowered_cache", cache)
+        ct = self.classify(trace)
+        key = knob_free_config(self.config)
+        lowered = cache.get(key)
+        if lowered is None:
+            lowered = lower_trace(ct)
+            cache[key] = lowered
+        return lowered
+
     def time(self, trace: TraceBuffer, *, engine: str | None = None
              ) -> CycleReport:
         """Cycle-count a sealed trace under the current knob settings."""
-        ct = self.classify(trace)
-        report = _ENGINES[engine or self.engine](ct)
+        name = engine or self.engine
+        if name == "batch":
+            # reuse the trace-level lowered cache instead of re-lowering
+            report = simulate_batch(self.lower(trace), [self.config])[0]
+        else:
+            report = ENGINES[name](self.classify(trace))
         self.counters.absorb(report)
         return report
+
+    def time_many(self, trace: TraceBuffer, configs: Sequence[SdvConfig],
+                  *, engine: str | None = None,
+                  reports: bool = True) -> list[CycleReport] | np.ndarray:
+        """Time one sealed trace at many knob settings in one call.
+
+        With ``engine="batch"`` the trace is lowered once and every config
+        is timed in a single vectorized walk; ``fast``/``event`` fall back
+        to one run per config (same results — the batch engine matches
+        ``fast`` bit-for-bit — but K trace walks instead of one). With
+        ``reports=False`` the batch path returns a bare float64 cycles
+        vector — no per-point :class:`CycleReport` objects are built (the
+        compact sweep path) and hardware counters are not updated.
+        """
+        configs = list(configs)
+        name = engine or self.engine
+        if name == "batch":
+            lowered = self.lower(trace)
+            if not reports:
+                return batch_cycles(lowered, configs)
+            out = simulate_batch(lowered, configs)
+            for report in out:
+                self.counters.absorb(report)
+            return out
+        saved = self.config
+        try:
+            out = []
+            for cfg in configs:
+                self.config = cfg.validate()
+                out.append(self.time(trace, engine=name))
+        finally:
+            self.config = saved
+        if not reports:
+            return np.array([r.cycles for r in out])
+        return out
 
     def run(self, build_fn, *args, engine: str | None = None, **kwargs):
         """Convenience: open a session, run ``build_fn(session, ...)``,

@@ -122,43 +122,56 @@ def load_trace(path: str | os.PathLike) -> TraceBuffer:
                 f"trace format version {version} unsupported "
                 f"(expected {FORMAT_VERSION})"
             )
+        # each z[...] access decompresses that member from scratch, so pull
+        # every column out exactly once before the per-record loop
         kind = z["kind"]
         addr_off = z["addr_off"]
         addrs = z["addrs"]
         writes = z["writes"]
         opcodes = z["opcodes"]
         labels = z["labels"]
+        n_alu = z["n_alu"]
+        mlp = z["mlp"]
+        mem_bytes = z["mem_bytes"]
+        vl = z["vl"]
+        active = z["active"]
+        opclass = z["opclass"]
+        pattern = z["pattern"]
+        is_write = z["is_write"]
+        masked = z["masked"]
+        dep = z["dep"]
+        scalar_dest = z["scalar_dest"]
 
-        trace = TraceBuffer()
-        for i in range(kind.shape[0]):
-            lo, hi = int(addr_off[i]), int(addr_off[i + 1])
-            if kind[i] == _KIND["scalar"]:
-                trace.append(ScalarBlock(
-                    n_alu_ops=int(z["n_alu"][i]),
-                    mem_addrs=addrs[lo:hi],
-                    mem_is_write=writes[lo:hi],
-                    mem_bytes=int(z["mem_bytes"][i]),
-                    mlp_hint=int(z["mlp"][i]),
-                    label=str(labels[i]),
-                ))
-            elif kind[i] == _KIND["vector"]:
-                op = _OPCLASS[int(z["opclass"][i])]
-                pat = (None if z["pattern"][i] == 255
-                       else _PATTERN[int(z["pattern"][i])])
-                trace.append(VectorInstr(
-                    op=op,
-                    vl=int(z["vl"][i]),
-                    opcode=str(opcodes[i]),
-                    pattern=pat,
-                    addrs=addrs[lo:hi] if hi > lo or op is VOpClass.MEM
-                    else None,
-                    is_write=bool(z["is_write"][i]),
-                    elem_bytes=int(z["mem_bytes"][i]),
-                    masked=bool(z["masked"][i]),
-                    active=int(z["active"][i]),
-                    dep=int(z["dep"][i]),
-                    scalar_dest=bool(z["scalar_dest"][i]),
-                ))
-            else:
-                trace.append(Barrier(label=str(labels[i])))
+    trace = TraceBuffer()
+    for i in range(kind.shape[0]):
+        lo, hi = int(addr_off[i]), int(addr_off[i + 1])
+        if kind[i] == _KIND["scalar"]:
+            trace.append(ScalarBlock(
+                n_alu_ops=int(n_alu[i]),
+                mem_addrs=addrs[lo:hi],
+                mem_is_write=writes[lo:hi],
+                mem_bytes=int(mem_bytes[i]),
+                mlp_hint=int(mlp[i]),
+                label=str(labels[i]),
+            ))
+        elif kind[i] == _KIND["vector"]:
+            op = _OPCLASS[int(opclass[i])]
+            pat = (None if pattern[i] == 255
+                   else _PATTERN[int(pattern[i])])
+            trace.append(VectorInstr(
+                op=op,
+                vl=int(vl[i]),
+                opcode=str(opcodes[i]),
+                pattern=pat,
+                addrs=addrs[lo:hi] if hi > lo or op is VOpClass.MEM
+                else None,
+                is_write=bool(is_write[i]),
+                elem_bytes=int(mem_bytes[i]),
+                masked=bool(masked[i]),
+                active=int(active[i]),
+                dep=int(dep[i]),
+                scalar_dest=bool(scalar_dest[i]),
+            ))
+        else:
+            trace.append(Barrier(label=str(labels[i])))
     return trace.seal()

@@ -89,3 +89,33 @@ class TestNewCommands:
                    "--bandwidth", "8"])
         assert rc == 0
         assert "max VL=8" in capsys.readouterr().out
+
+
+class TestSweepInfraFlags:
+    def test_engine_fast_matches_default_batch(self, capsys):
+        args = ["fig3", "--kernel", "fft", "--scale", "smoke",
+                "--vls", "8", "--csv"]
+        assert main(args + ["--engine", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert main(args + ["--engine", "fast"]) == 0
+        assert capsys.readouterr().out == batch_out
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--kernel", "fft", "--scale", "smoke",
+                  "--engine", "warp"])
+
+    def test_jobs_flag(self, capsys):
+        rc = main(["fig5", "--kernel", "fft", "--scale", "smoke",
+                   "--vls", "8", "--jobs", "2"])
+        assert rc == 0
+        assert "plateaus" in capsys.readouterr().out
+
+    def test_trace_cache_flag(self, capsys, tmp_path):
+        args = ["fig3", "--kernel", "fft", "--scale", "smoke",
+                "--vls", "8", "--csv", "--trace-cache", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert list(tmp_path.glob("*.npz"))
+        assert main(args) == 0  # second run re-times from the cache
+        assert capsys.readouterr().out == first

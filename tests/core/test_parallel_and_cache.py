@@ -1,0 +1,142 @@
+"""Sweep-harness infrastructure: process fan-out + on-disk trace cache.
+
+Covers the ``jobs=N`` worker-pool path (results identical to serial), the
+``trace_cache=DIR`` path (second run must not re-execute the kernel — a
+poisoned spec proves it), and the hoisted once-per-sweep reference.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.parallel import default_jobs, resolve_jobs, run_tasks
+from repro.core.sweeps import (
+    bandwidth_sweep,
+    latency_sweep,
+    run_implementation,
+    trace_cache_path,
+    vl_sweep,
+    workload_fingerprint,
+)
+from repro.kernels import KERNELS
+from repro.soc import FpgaSdv
+from repro.workloads import get_scale
+
+
+def _square(x):
+    return x * x
+
+
+class TestRunTasks:
+    def test_serial_matches_parallel(self):
+        tasks = list(range(8))
+        assert run_tasks(_square, tasks, jobs=1) == \
+            run_tasks(_square, tasks, jobs=2) == [x * x for x in tasks]
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(0) == default_jobs()
+        assert resolve_jobs(-3) == 1
+        assert resolve_jobs(4) == 4
+
+    def test_single_task_runs_inline(self):
+        assert run_tasks(_square, [5], jobs=8) == [25]
+
+
+class TestParallelSweeps:
+    def test_latency_sweep_jobs2_matches_serial(self):
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        serial = latency_sweep(spec, workload, vls=(8, 64))
+        fanned = latency_sweep(spec, workload, vls=(8, 64), jobs=2)
+        for impl in serial.impls:
+            assert serial.series(impl) == fanned.series(impl)
+
+    def test_bandwidth_sweep_jobs2_matches_serial(self):
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        serial = bandwidth_sweep(spec, workload, vls=(8,))
+        fanned = bandwidth_sweep(spec, workload, vls=(8,), jobs=2)
+        for impl in serial.impls:
+            assert serial.series(impl) == fanned.series(impl)
+
+
+def _boom(session, workload):  # pragma: no cover - must never run
+    raise AssertionError("kernel executed despite a cache hit")
+
+
+class TestTraceCache:
+    def test_cache_files_written_and_results_identical(self, tmp_path):
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        first = latency_sweep(spec, workload, vls=(8,),
+                              trace_cache=tmp_path)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 2  # scalar + vl8
+        second = latency_sweep(spec, workload, vls=(8,),
+                               trace_cache=tmp_path)
+        for impl in first.impls:
+            assert first.series(impl) == second.series(impl)
+
+    def test_cache_hit_skips_kernel_execution(self, tmp_path):
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        latency_sweep(spec, workload, vls=(8,), trace_cache=tmp_path)
+        poisoned = dataclasses.replace(spec, scalar=_boom, vector=_boom)
+        result = latency_sweep(poisoned, workload, vls=(8,),
+                               trace_cache=tmp_path, verify=False)
+        assert len(result.measurements) == 2 * len(result.points)
+
+    def test_cache_key_distinguishes_vl_and_workload(self, tmp_path):
+        spec = KERNELS["fft"]
+        w7 = spec.prepare(get_scale("smoke"), 7)
+        w8 = spec.prepare(get_scale("smoke"), 8)
+        assert workload_fingerprint(w7) != workload_fingerprint(w8)
+        assert workload_fingerprint(w7) == workload_fingerprint(w7)
+        sdv8 = FpgaSdv().configure(max_vl=8)
+        sdv64 = FpgaSdv().configure(max_vl=64)
+        assert trace_cache_path(tmp_path, spec.name, w7, 8, sdv8) != \
+            trace_cache_path(tmp_path, spec.name, w7, 64, sdv64)
+        assert trace_cache_path(tmp_path, spec.name, w7, 8, sdv8) != \
+            trace_cache_path(tmp_path, spec.name, w8, 8, sdv8)
+
+    def test_cache_path_that_is_a_file_rejected(self, tmp_path):
+        from repro.errors import TraceError
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        not_a_dir = tmp_path / "cache.txt"
+        not_a_dir.write_text("")
+        with pytest.raises(TraceError):
+            run_implementation(spec, workload, 8, verify=False,
+                               trace_cache=not_a_dir)
+
+    def test_vl_sweep_accepts_cache(self, tmp_path):
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        first = vl_sweep(spec, workload, vls=(8,), trace_cache=tmp_path)
+        second = vl_sweep(spec, workload, vls=(8,), trace_cache=tmp_path)
+        assert first == second
+
+
+class TestHoistedReference:
+    def test_reference_computed_once_per_sweep(self):
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        calls = []
+
+        def counting_reference(w):
+            calls.append(1)
+            return spec.reference(w)
+
+        counted = dataclasses.replace(spec, reference=counting_reference)
+        latency_sweep(counted, workload, vls=(8, 64), verify=True)
+        assert len(calls) == 1  # three implementations, one reference
+
+    def test_explicit_reference_skips_recompute(self):
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        ref = spec.reference(workload)
+        poisoned = dataclasses.replace(
+            spec, reference=lambda w: pytest.fail("reference recomputed"))
+        sdv, trace = run_implementation(poisoned, workload, 8,
+                                        verify=True, reference=ref)
+        assert trace.sealed

@@ -7,13 +7,17 @@ and produce identical DRAM accounting — a much broader net than the
 hand-written agreement cases.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import SdvConfig
+from repro.engine.batch_sim import batch_cycles
 from repro.engine.event_sim import simulate_events
 from repro.engine.fast_sim import simulate_fast
+from repro.engine.lower import lower_trace
 from repro.isa import ScalarContext, VectorContext
 from repro.memory.address_space import MemoryImage
 from repro.memory.classify import classify_trace
@@ -97,3 +101,19 @@ def test_property_engines_agree_on_random_programs(steps, seed, knobs):
     assert fast.cycles == pytest.approx(event.cycles, rel=0.6), (
         fast.cycles, event.cycles)
     assert fast.cycles > 0 and event.cycles > 0
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs(), st.integers(0, 2 ** 31))
+def test_property_batch_matches_fast_exactly(steps, seed):
+    """One lowering + one vectorized walk == N fast walks, to the bit."""
+    trace = build_trace(steps, seed)
+    base = SdvConfig().validate()
+    configs = ([base.with_extra_latency(l) for l in (0, 32, 256, 1024)]
+               + [base.with_bandwidth(b) for b in (1, 4, 64)])
+    ct = classify_trace(trace, base)
+    batch = batch_cycles(lower_trace(ct), configs)
+    for k, cfg in enumerate(configs):
+        fast = simulate_fast(dataclasses.replace(ct, config=cfg))
+        assert batch[k] == fast.cycles, (k, batch[k], fast.cycles)
