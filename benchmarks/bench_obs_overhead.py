@@ -1,0 +1,64 @@
+"""Observability overhead: instrumentation must not tax the sweep path.
+
+The telemetry layer promises that when nobody asked for a trace, the sweep
+fast path pays (almost) nothing: the process-wide tracer starts disabled,
+metrics are a handful of counter increments per *implementation* (not per
+sweep point), and attribution is strictly opt-in. This bench pins that
+promise: a full latency sweep with tracing + metrics live must stay within
+5% of the uninstrumented wall time. The opt-in attribution cost is
+reported alongside for scale (it does real extra work — ladder walks —
+so it is not held to the 5% bar).
+"""
+
+import time
+
+from conftest import LATENCIES, VLS, write_result
+
+from repro.core.sweeps import latency_sweep
+from repro.kernels import KERNELS
+from repro.obs.spans import set_tracing
+
+
+def _sweep_seconds(workload, *, repeats=3, attributions=False):
+    spec = KERNELS["fft"]
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        latency_sweep(spec, workload, latencies=LATENCIES, vls=VLS,
+                      verify=False, attributions=attributions)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_instrumentation_overhead(workloads):
+    wl = workloads["fft"]
+    _sweep_seconds(wl, repeats=1)  # warm-up (imports, allocator)
+
+    set_tracing(False)
+    baseline = _sweep_seconds(wl)
+    tracer = set_tracing(True)
+    try:
+        instrumented = _sweep_seconds(wl)
+    finally:
+        set_tracing(False)
+    attributed = _sweep_seconds(wl, attributions=True)
+
+    overhead_pct = (instrumented / baseline - 1.0) * 100.0
+    attribution_pct = (attributed / baseline - 1.0) * 100.0
+    assert tracer.spans, "instrumented run recorded no spans"
+
+    write_result("obs_overhead", "\n".join([
+        "observability overhead — fft latency sweep "
+        f"({len(LATENCIES)} points x {len(VLS) + 1} impls, min of 3)",
+        f"baseline (tracing off)   : {baseline * 1e3:8.1f} ms",
+        f"instrumented (spans on)  : {instrumented * 1e3:8.1f} ms "
+        f"({overhead_pct:+.1f}%)",
+        f"with attribution buckets : {attributed * 1e3:8.1f} ms "
+        f"({attribution_pct:+.1f}%, opt-in extra work)",
+    ]))
+
+    # the acceptance bar: instrumentation (not opt-in attribution work)
+    # costs at most 5% of sweep wall time
+    assert overhead_pct <= 5.0, (
+        f"instrumentation overhead {overhead_pct:.1f}% exceeds 5%"
+    )

@@ -18,12 +18,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.config import SdvConfig
 from repro.core.analysis import characterize, roofline_bound
 from repro.core.figures import headline_numbers
 from repro.core.plots import plot_figure3, plot_figure5
 from repro.core.report import (
+    render_counters,
     render_figure3,
     render_figure4,
     render_figure5,
@@ -39,6 +41,9 @@ from repro.core.sweeps import (
 )
 from repro.engine import ENGINES
 from repro.kernels import KERNELS
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.perfetto import trace_events_from_spans, write_trace
+from repro.obs.spans import get_tracer, set_tracing
 from repro.workloads import get_scale
 
 
@@ -81,6 +86,41 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "runs skip kernel re-execution")
 
 
+def _add_emit(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--emit-json", default=None, metavar="PATH",
+                   help="write a schema-versioned JSON export (plus a "
+                        "sibling run manifest for sweep commands)")
+    p.add_argument("--emit-trace", default=None, metavar="PATH",
+                   help="write a Chrome/Perfetto trace_event JSON dump of "
+                        "the harness spans (and engine timelines for "
+                        "'profile')")
+
+
+def _emit_path(path: str, kernel: str, multi: bool) -> Path:
+    """Per-kernel artifact path: suffix the stem when --kernel all."""
+    p = Path(path)
+    if not multi:
+        return p
+    return p.with_name(f"{p.stem}-{kernel}{p.suffix}")
+
+
+def _sweep_manifest(result, *, engine: str, scale: str, seed: int) -> dict:
+    """Run manifest for a SweepResult (buckets included when attributed)."""
+    runs = []
+    for m in result.measurements:
+        run = {"impl": m.impl, "cycles": m.cycles,
+               "extra_latency": m.extra_latency,
+               "bandwidth_bpc": m.bandwidth_bpc}
+        if m.attribution is not None:
+            run["buckets"] = dict(m.attribution.buckets)
+        runs.append(run)
+    return build_manifest(
+        kernel=result.kernel, engine=engine,
+        config=SdvConfig().validate(), runs=runs, scale=scale, seed=seed,
+        axis=result.axis, points=list(result.points),
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sdv",
@@ -91,20 +131,32 @@ def main(argv: list[str] | None = None) -> int:
 
     p3 = sub.add_parser("fig3", help="execution time vs extra latency")
     _add_common(p3)
+    _add_emit(p3)
     p3.add_argument("--plot", action="store_true",
                     help="terminal line plot instead of a table")
     p3.add_argument("--color", action="store_true",
                     help="paper colors: scalar blue, VLs in a red gradient")
     p4 = sub.add_parser("fig4", help="normalized slowdown heat tables")
     _add_common(p4)
+    _add_emit(p4)
     p4.add_argument("--color", action="store_true",
                     help="ANSI green-to-red gradient")
     p5 = sub.add_parser("fig5", help="normalized time vs bandwidth limit")
     _add_common(p5)
+    _add_emit(p5)
     p5.add_argument("--plot", action="store_true",
                     help="terminal line plot instead of a table")
     p5.add_argument("--color", action="store_true",
                     help="paper colors: scalar blue, VLs in a red gradient")
+    pf = sub.add_parser("profile",
+                        help="per-VL cycle attribution: where each "
+                             "implementation's cycles go")
+    _add_common(pf)
+    _add_emit(pf)
+    pf.add_argument("--fractions", action="store_true",
+                    help="show bucket shares of the total instead of cycles")
+    pf.add_argument("--no-scalar", action="store_true",
+                    help="omit the scalar build from the table")
     ph = sub.add_parser("headline",
                         help="Section 4.1 quoted numbers, measured vs paper")
     _add_common(ph)
@@ -173,6 +225,32 @@ def main(argv: list[str] | None = None) -> int:
     vls = _vls(args.vls)
     verify = not args.no_verify
 
+    if args.command == "profile":
+        from repro.obs.profile import profile_kernel
+        names = _kernel_names(args.kernel)
+        multi = len(names) > 1
+        if args.emit_trace:
+            set_tracing(True)
+        for name in names:
+            r = profile_kernel(name, scale=args.scale, seed=args.seed,
+                               vls=vls, engine=args.engine,
+                               include_scalar=not args.no_scalar,
+                               verify=verify, trace_cache=args.trace_cache,
+                               timelines=bool(args.emit_trace))
+            print(r.render(fractions=args.fractions))
+            print()
+            if args.emit_json:
+                path = _emit_path(args.emit_json, name, multi)
+                write_manifest(path, r.manifest())
+                print(f"wrote {path}", file=sys.stderr)
+            if args.emit_trace:
+                path = _emit_path(args.emit_trace, name, multi)
+                write_trace(path, r.trace_events(),
+                            metadata={"kernel": name, "engine": args.engine,
+                                      "scale": args.scale})
+                print(f"wrote {path}", file=sys.stderr)
+        return 0
+
     if args.command == "headline":
         spec = KERNELS["spmv"]
         workload = spec.prepare(scale, args.seed)
@@ -180,6 +258,16 @@ def main(argv: list[str] | None = None) -> int:
                                engine=args.engine, jobs=args.jobs,
                                trace_cache=args.trace_cache)
         print(render_headline(headline_numbers(result)))
+        # Section 3.2 counter view at the longest VL: what fraction of
+        # instructions were vector, what DRAM rate was sustained, and
+        # where the cycles went (the sweep above already verified it)
+        from repro.core.sweeps import run_implementation
+        vmax = max(vls)
+        sdv, trace = run_implementation(spec, workload, vmax, verify=False)
+        report = sdv.time(trace, engine=args.engine)
+        report.attribution = sdv.attribute(trace, engine=args.engine)
+        print()
+        print(render_counters(sdv.counters, label=f"spmv/vl{vmax}"))
         return 0
 
     if args.command == "validate":
@@ -205,7 +293,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.util.tables import TextTable
         cfg = SdvConfig().validate()
         t = TextTable(["kernel", "impl", "AI (flop/B)", "flops/cyc",
-                       "roof", "DRAM B/cyc"])
+                       "roof", "DRAM B/cyc", "vec frac"])
         for name in _kernel_names(args.kernel):
             spec = KERNELS[name]
             workload = spec.prepare(scale, args.seed)
@@ -220,11 +308,19 @@ def main(argv: list[str] | None = None) -> int:
                                       vector=vl is not None)
                 t.add_row([name, label, f"{c.arithmetic_intensity:.3f}",
                            f"{c.flops_per_cycle:.3f}", f"{roof:.2f}",
-                           f"{c.dram_bytes_per_cycle:.2f}"])
+                           f"{c.dram_bytes_per_cycle:.2f}",
+                           f"{sdv.counters.vector_fraction * 100:.0f}%"])
         print(t.render())
         return 0
 
-    for name in _kernel_names(args.kernel):
+    names = _kernel_names(args.kernel)
+    emit_json = getattr(args, "emit_json", None)
+    emit_trace = getattr(args, "emit_trace", None)
+    if emit_trace:
+        set_tracing(True)
+    # attribution buckets ride along in the JSON export's manifest
+    attributions = bool(emit_json)
+    for name in names:
         spec = KERNELS[name]
         t0 = time.time()
         workload = spec.prepare(scale, args.seed)
@@ -233,7 +329,8 @@ def main(argv: list[str] | None = None) -> int:
                                    latencies=DEFAULT_LATENCIES, vls=vls,
                                    verify=verify, engine=args.engine,
                                    jobs=args.jobs,
-                                   trace_cache=args.trace_cache)
+                                   trace_cache=args.trace_cache,
+                                   attributions=attributions)
             if args.csv:
                 print(result.to_csv())
             elif args.plot:
@@ -245,7 +342,8 @@ def main(argv: list[str] | None = None) -> int:
                                    latencies=DEFAULT_LATENCIES, vls=vls,
                                    verify=verify, engine=args.engine,
                                    jobs=args.jobs,
-                                   trace_cache=args.trace_cache)
+                                   trace_cache=args.trace_cache,
+                                   attributions=attributions)
             print(result.to_csv() if args.csv
                   else render_figure4(result, color=args.color))
         elif args.command == "fig5":
@@ -253,15 +351,33 @@ def main(argv: list[str] | None = None) -> int:
                                      bandwidths=DEFAULT_BANDWIDTHS, vls=vls,
                                      verify=verify, engine=args.engine,
                                      jobs=args.jobs,
-                                     trace_cache=args.trace_cache)
+                                     trace_cache=args.trace_cache,
+                                     attributions=attributions)
             if args.csv:
                 print(result.to_csv())
             elif args.plot:
                 print(plot_figure5(result, color=args.color))
             else:
                 print(render_figure5(result))
+        if emit_json:
+            manifest = _sweep_manifest(result, engine=args.engine,
+                                       scale=args.scale, seed=args.seed)
+            result.meta["manifest"] = manifest
+            path = _emit_path(emit_json, name, len(names) > 1)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(result.to_json(), encoding="utf-8")
+            sibling = write_manifest(
+                path.with_name(path.stem + ".manifest.json"), manifest)
+            print(f"wrote {path} and {sibling}", file=sys.stderr)
         print(f"[{name}: {time.time() - t0:.1f}s]", file=sys.stderr)
         print()
+    if emit_trace:
+        path = write_trace(emit_trace,
+                           trace_events_from_spans(get_tracer().spans),
+                           metadata={"command": args.command,
+                                     "kernels": names,
+                                     "scale": args.scale})
+        print(f"wrote {path}", file=sys.stderr)
     return 0
 
 

@@ -200,8 +200,10 @@ class MemConfig:
     bw_den: int = 1
 
     def validate(self) -> None:
-        if self.dram_service_cycles < 1:
-            raise ConfigError("dram_service_cycles must be >= 1")
+        # 0 is allowed: the attribution ladder idealizes DRAM service away
+        # to isolate the latency-stall bucket (repro.obs.attribution).
+        if self.dram_service_cycles < 0:
+            raise ConfigError("dram_service_cycles must be >= 0")
         if self.extra_latency_cycles < 0:
             raise ConfigError("extra_latency_cycles must be >= 0")
         if self.bw_num < 1 or self.bw_den < 1:

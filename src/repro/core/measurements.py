@@ -20,6 +20,9 @@ class Measurement:
     bandwidth_bpc: int        # configured limit in bytes/cycle
     cycles: float
     report: CycleReport | None = None
+    #: optional CycleAttribution (repro.obs.attribution): buckets summing
+    #: bit-exactly to ``cycles``; filled by attribution-enabled sweeps.
+    attribution: object | None = None
 
     @property
     def is_scalar(self) -> bool:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import TypeVar
 
 T = TypeVar("T")
@@ -41,21 +41,41 @@ def resolve_jobs(jobs: int) -> int:
 
 
 def run_tasks(fn: Callable[[T], R], tasks: Sequence[T], *,
-              jobs: int = 1) -> list[R]:
+              jobs: int = 1,
+              on_result: Callable[[int, R], None] | None = None) -> list[R]:
     """``[fn(t) for t in tasks]``, fanned across ``jobs`` processes.
 
     Results come back in task order. ``fn`` and every task must be
     picklable (module-level function, plain-data arguments). With
     ``jobs<=1``, a single task, or an unusable multiprocessing platform,
     runs everything in-process.
+
+    ``on_result(task_index, result)`` fires in the parent as each task
+    finishes, in *completion* order — the sweep harness uses it for
+    progress heartbeats while slower workers are still running.
     """
     jobs = resolve_jobs(jobs)
     tasks = list(tasks)
+
+    def _serial() -> list[R]:
+        out = []
+        for i, t in enumerate(tasks):
+            r = fn(t)
+            if on_result is not None:
+                on_result(i, r)
+            out.append(r)
+        return out
+
     if jobs <= 1 or len(tasks) <= 1:
-        return [fn(t) for t in tasks]
+        return _serial()
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            return list(pool.map(fn, tasks))
+            futures = [pool.submit(fn, t) for t in tasks]
+            if on_result is not None:
+                index = {f: i for i, f in enumerate(futures)}
+                for f in as_completed(futures):
+                    on_result(index[f], f.result())
+            return [f.result() for f in futures]
     except (OSError, PermissionError, NotImplementedError):
         # no fork/semaphores available (restricted sandbox): run serially
-        return [fn(t) for t in tasks]
+        return _serial()

@@ -61,3 +61,29 @@ def render_headline(h: HeadlineNumbers) -> str:
     for name, measured, paper in h.rows():
         t.add_row([name, f"{measured:.2f}x", f"{paper:.2f}x"])
     return "Section 4.1 headline numbers (SpMV)\n" + t.render()
+
+
+def render_counters(counters, *, label: str = "") -> str:
+    """Section 3.2 counter-derived view of a :class:`HwCounters` object:
+    the reading discipline (runs/mean/stddev), the characterization metrics
+    (vector instruction fraction, achieved DRAM rate), and — when a run was
+    attributed — where the cycles went."""
+    from repro.obs.attribution import BUCKET_LABELS, BUCKET_ORDER
+
+    t = TextTable(["counter", "value"])
+    t.add_row(["runs absorbed", str(counters.runs)])
+    t.add_row(["mean cycles/run", f"{counters.mean_cycles():,.0f}"])
+    if counters.runs > 1:
+        t.add_row(["stddev cycles", f"{counters.stddev():,.0f}"])
+    t.add_row(["vector instruction fraction",
+               f"{counters.vector_fraction * 100:.1f}%"])
+    t.add_row(["achieved DRAM bytes/cycle",
+               f"{counters.achieved_bytes_per_cycle:.2f}"])
+    if counters.buckets:
+        for b in BUCKET_ORDER:
+            t.add_row([f"cycle share: {BUCKET_LABELS[b]}",
+                       f"{counters.bucket_fraction(b) * 100:.1f}%"])
+    title = "Section 3.2 counters"
+    if label:
+        title += f" — {label}"
+    return title + "\n" + t.render()

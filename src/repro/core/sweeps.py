@@ -26,14 +26,19 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import sys
+import time
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.config import SdvConfig
 from repro.core.measurements import Measurement, SweepResult
-from repro.core.parallel import run_tasks
+from repro.core.parallel import resolve_jobs, run_tasks
 from repro.errors import KernelError, TraceError
 from repro.kernels.base import KernelSpec
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.spans import SpanTracer, get_tracer
 from repro.soc.sdv import FpgaSdv
 from repro.trace.events import TraceBuffer
 from repro.trace.serialize import load_trace, save_trace
@@ -144,44 +149,94 @@ def _sweep_configs(base: SdvConfig, axis: str,
     return [base.with_bandwidth(p) for p in points]
 
 
+@dataclass
+class _ImplOutcome:
+    """Everything one (kernel, implementation) task ships back to the
+    parent sweep: measurements plus the worker's observability payload
+    (spans and a metrics snapshot — instrument objects never cross the
+    process boundary, plain data does)."""
+
+    measurements: list[Measurement]
+    spans: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    pid: int = 0
+    wall_s: float = 0.0
+
+
 def _time_one_impl(spec: KernelSpec, workload, vl: int | None, axis: str,
                    points: Sequence[int], config: SdvConfig | None,
                    verify: bool, reference, keep_reports: bool, engine: str,
-                   trace_cache) -> list[Measurement]:
+                   trace_cache, trace_spans: bool = False,
+                   attributions: bool = False) -> _ImplOutcome:
     """Generate + time one implementation across all points of one axis."""
-    sdv, trace = run_implementation(spec, workload, vl, config=config,
-                                    verify=verify, reference=reference,
-                                    trace_cache=trace_cache)
-    configs = _sweep_configs(sdv.config, axis, points)
+    t_begin = time.perf_counter()
+    tracer = SpanTracer(enabled=trace_spans)
+    registry = MetricsRegistry()
     label = impl_label(vl)
+
+    with tracer.span(f"trace-gen:{spec.name}:{label}", kernel=spec.name,
+                     impl=label):
+        t0 = time.perf_counter()
+        sdv, trace = run_implementation(spec, workload, vl, config=config,
+                                        verify=verify, reference=reference,
+                                        trace_cache=trace_cache)
+        registry.histogram("sweep.trace_gen_s").observe(
+            time.perf_counter() - t0)
+    configs = _sweep_configs(sdv.config, axis, points)
     base_lat = sdv.extra_latency
     base_bpc = int(sdv.bandwidth_bpc)
 
-    def measurement(point, cycles, report):
+    def measurement(point, cycles, report, att=None):
         return Measurement(
             kernel=spec.name, impl=label,
             extra_latency=point if axis == "latency" else base_lat,
             bandwidth_bpc=point if axis == "bandwidth" else base_bpc,
-            cycles=cycles, report=report,
+            cycles=cycles, report=report, attribution=att,
         )
 
-    if engine == "batch" and not keep_reports:
-        # compact path: one vectorized walk, a bare cycles vector, no
-        # intermediate CycleReport garbage
-        cycles = sdv.time_many(trace, configs, engine="batch",
-                               reports=False)
-        return [measurement(p, float(c), None)
-                for p, c in zip(points, cycles)]
+    with tracer.span(f"re-time:{spec.name}:{label}", kernel=spec.name,
+                     impl=label, engine=engine, points=len(points)):
+        t0 = time.perf_counter()
+        if engine == "batch" and not keep_reports:
+            # compact path: one vectorized walk, a bare cycles vector, no
+            # intermediate CycleReport garbage
+            cycles = sdv.time_many(trace, configs, engine="batch",
+                                   reports=False)
+            measurements = [measurement(p, float(c), None)
+                            for p, c in zip(points, cycles)]
+        else:
+            reports = sdv.time_many(trace, configs, engine=engine)
+            measurements = [measurement(p, r.cycles,
+                                        r if keep_reports else None)
+                            for p, r in zip(points, reports)]
+        registry.histogram("sweep.retime_s").observe(
+            time.perf_counter() - t0)
 
-    reports = sdv.time_many(trace, configs, engine=engine)
-    return [measurement(p, r.cycles, r if keep_reports else None)
-            for p, r in zip(points, reports)]
+    if attributions:
+        from repro.obs.attribution import attribute_many
+
+        with tracer.span(f"attribute:{spec.name}:{label}", kernel=spec.name,
+                         impl=label):
+            atts = attribute_many(sdv.classify(trace), configs,
+                                  lowered=sdv.lower(trace))
+        measurements = [replace(m, attribution=att)
+                        for m, att in zip(measurements, atts)]
+
+    registry.counter("sweep.impls_timed").inc()
+    registry.counter("sweep.points_timed").inc(len(points))
+    return _ImplOutcome(
+        measurements=measurements,
+        spans=tracer.spans,
+        metrics=registry.snapshot(),
+        pid=os.getpid(),
+        wall_s=time.perf_counter() - t_begin,
+    )
 
 
-def _impl_task(args) -> list[Measurement]:
+def _impl_task(args) -> _ImplOutcome:
     """Module-level worker: one (kernel, implementation) per process task."""
     (spec_or_name, workload, vl, axis, points, config, verify, reference,
-     keep_reports, engine, trace_cache) = args
+     keep_reports, engine, trace_cache, trace_spans, attributions) = args
     if isinstance(spec_or_name, str):
         from repro.kernels import KERNELS  # registry lookup in the worker
 
@@ -189,18 +244,22 @@ def _impl_task(args) -> list[Measurement]:
     else:
         spec = spec_or_name
     return _time_one_impl(spec, workload, vl, axis, points, config, verify,
-                          reference, keep_reports, engine, trace_cache)
+                          reference, keep_reports, engine, trace_cache,
+                          trace_spans, attributions)
 
 
 def _sweep(spec: KernelSpec, workload, axis: str, points: list[int],
            vls: Sequence[int], include_scalar: bool,
            config: SdvConfig | None, verify: bool, keep_reports: bool,
-           engine: str, jobs: int, trace_cache) -> SweepResult:
+           engine: str, jobs: int, trace_cache,
+           attributions: bool = False) -> SweepResult:
     impls = _impls(vls, include_scalar)
     result = SweepResult(
         kernel=spec.name, axis=axis, points=points,
         impls=[impl_label(v) for v in impls],
     )
+    tracer = get_tracer()
+    registry = get_metrics()
     # hoist the reference: identical for every implementation
     reference = spec.reference(workload) if verify else None
     # registry kernels travel to workers by name (always picklable);
@@ -210,12 +269,32 @@ def _sweep(spec: KernelSpec, workload, axis: str, points: list[int],
     payload = spec.name if KERNELS.get(spec.name) is spec else spec
     tasks = [
         (payload, workload, vl, axis, points, config, verify, reference,
-         keep_reports, engine, trace_cache)
+         keep_reports, engine, trace_cache, tracer.enabled, attributions)
         for vl in impls
     ]
-    for measurements in run_tasks(_impl_task, tasks, jobs=jobs):
-        for m in measurements:
-            result.add(m)
+    labels = [impl_label(v) for v in impls]
+    parallel = resolve_jobs(jobs) > 1
+    done = 0
+
+    def heartbeat(idx: int, outcome: _ImplOutcome) -> None:
+        # per-worker progress while slower implementations are in flight
+        nonlocal done
+        done += 1
+        if parallel:
+            print(f"[sweep {spec.name}/{axis}] {labels[idx]} done "
+                  f"({done}/{len(tasks)}, worker pid {outcome.pid}, "
+                  f"{outcome.wall_s:.1f}s)", file=sys.stderr)
+
+    with tracer.span(f"sweep:{spec.name}:{axis}", kernel=spec.name,
+                     axis=axis, impls=len(tasks), points=len(points),
+                     engine=engine, jobs=jobs):
+        for outcome in run_tasks(_impl_task, tasks, jobs=jobs,
+                                 on_result=heartbeat):
+            tracer.adopt(outcome.spans)
+            registry.merge(outcome.metrics)
+            for m in outcome.measurements:
+                result.add(m)
+    registry.counter("sweep.sweeps_run").inc()
     return result
 
 
@@ -232,11 +311,17 @@ def latency_sweep(
     engine: str = DEFAULT_SWEEP_ENGINE,
     jobs: int = 1,
     trace_cache: str | os.PathLike | None = None,
+    attributions: bool = False,
 ) -> SweepResult:
-    """Section 4.1: execution time vs. extra memory latency."""
+    """Section 4.1: execution time vs. extra memory latency.
+
+    ``attributions=True`` additionally decomposes every sweep point's
+    cycles into the :mod:`repro.obs.attribution` buckets (attached per
+    measurement) at the cost of ~3 extra vectorized walks per impl.
+    """
     return _sweep(spec, workload, "latency", list(latencies), vls,
                   include_scalar, config, verify, keep_reports, engine,
-                  jobs, trace_cache)
+                  jobs, trace_cache, attributions)
 
 
 def bandwidth_sweep(
@@ -252,11 +337,12 @@ def bandwidth_sweep(
     engine: str = DEFAULT_SWEEP_ENGINE,
     jobs: int = 1,
     trace_cache: str | os.PathLike | None = None,
+    attributions: bool = False,
 ) -> SweepResult:
     """Section 4.2: execution time vs. the Bandwidth Limiter setting."""
     return _sweep(spec, workload, "bandwidth", list(bandwidths), vls,
                   include_scalar, config, verify, keep_reports, engine,
-                  jobs, trace_cache)
+                  jobs, trace_cache, attributions)
 
 
 def vl_sweep(

@@ -32,6 +32,7 @@ from repro.engine.des import Environment, Event, Resource
 from repro.engine.results import CycleReport
 from repro.errors import EngineError
 from repro.memory.bandwidth_limiter import BandwidthLimiter
+from repro.memory.latency_controller import LatencyController
 from repro.memory.classify import (
     KIND_BARRIER,
     KIND_SCALAR,
@@ -54,21 +55,20 @@ _LINE_SHIFT = log2_int(LINE_BYTES)
 class _Machine:
     """All simulation state for one run."""
 
-    def __init__(self, ct: ClassifiedTrace) -> None:
+    def __init__(self, ct: ClassifiedTrace, *, timeline=None) -> None:
         self.ct = ct
         self.config = ct.config
         self.rows = ct.rows
         self.records = ct.trace.records
         self.env = Environment()
+        self.timeline = timeline
         cfg = self.config
 
         self.limiter = BandwidthLimiter(cfg.mem.bw_num, cfg.mem.bw_den)
+        self.latency_ctl = LatencyController(cfg.mem.extra_latency_cycles)
         self.noc = MeshNoc(cfg.noc)
+        self.bank_wait_cycles = 0.0  # queueing at the L2 bank ports
         self.bank_ports = [Resource(self.env, 1) for _ in range(cfg.l2.banks)]
-        self.bank_one_way = [
-            self.noc.one_way_latency(0, b % cfg.noc.nodes)
-            for b in range(cfg.l2.banks)
-        ]
         self.arith_pipe = Resource(self.env, 1)
         self.agu = Resource(self.env, 1)
         self.mem_slots = Resource(self.env, cfg.vpu.mem_queue_depth)
@@ -107,9 +107,13 @@ class _Machine:
             grant = self.line_mshrs.request()
             yield grant
             mshr_held = True
-        yield env.timeout(self.bank_one_way[bank])
+        bank_node = bank % self.config.noc.nodes
+        yield env.timeout(self.noc.record_message(self.noc.core_node,
+                                                  bank_node))
+        t_req = env.now
         grant = self.bank_ports[bank].request()
         yield grant
+        self.bank_wait_cycles += env.now - t_req
         yield env.timeout(1.0)  # pipelined bank port occupancy
         self.bank_ports[bank].release()
         yield env.timeout(self.config.l2.access_cycles - 1.0)
@@ -117,9 +121,10 @@ class _Machine:
             admit = self.limiter.admit(env.now)
             if admit > env.now:
                 yield env.timeout(admit - env.now)
-            yield env.timeout(self.config.mem.extra_latency_cycles
+            yield env.timeout(self.latency_ctl.delay(env.now) - env.now
                               + self.config.mem.dram_service_cycles)
-        yield env.timeout(self.bank_one_way[bank])
+        yield env.timeout(self.noc.record_message(bank_node,
+                                                  self.noc.core_node))
         if mshr_held:
             self.line_mshrs.release()
         if resp_ev is not None and not resp_ev.triggered:
@@ -128,11 +133,12 @@ class _Machine:
     def dram_writeback(self, bank: int):
         """Fire-and-forget write transaction (consumes limiter bandwidth)."""
         env = self.env
-        yield env.timeout(self.bank_one_way[bank])
+        yield env.timeout(self.noc.record_message(
+            self.noc.core_node, bank % self.config.noc.nodes))
         admit = self.limiter.admit(env.now)
         if admit > env.now:
             yield env.timeout(admit - env.now)
-        yield env.timeout(self.config.mem.extra_latency_cycles
+        yield env.timeout(self.latency_ctl.delay(env.now) - env.now
                           + self.config.mem.dram_service_cycles)
 
     # -------------------------------------------------------------- dependency
@@ -231,12 +237,16 @@ class _Machine:
             self.chain_ev[i].succeed()  # consumers may chain from our start
         occ = vpu_model.arith_occupancy(self.config, opclass, int(row["vl"]))
         self.acc_varith += occ
+        t_busy = env.now
         yield env.timeout(occ)
         self.arith_pipe.release()
         # result becomes visible one pipeline latency after issue completes
         yield env.timeout(vpu_model.arith_latency(self.config))
         if dep >= 0:
             yield from self.enforce_floor(dep)
+        if self.timeline is not None:
+            self.timeline.add("vpu-arith", f"varith[{i}]", t_busy, env.now,
+                              vl=int(row["vl"]), occupancy=occ)
         self.finish(i)
 
     def vmem(self, i: int, rec: VectorInstr):
@@ -302,6 +312,10 @@ class _Machine:
         self.acc_vmem += env.now - t_busy_start
         if dep >= 0:
             yield from self.enforce_floor(dep)
+        if self.timeline is not None:
+            self.timeline.add("vpu-mem", f"vmem[{i}]", t_busy_start, env.now,
+                              vl=int(row["vl"]), lines=n_lines,
+                              dram_reads=int(row["dram_reads"]))
         self.finish(i)
         self.mem_slots.release()
 
@@ -313,13 +327,20 @@ class _Machine:
         for i, rec in enumerate(self.records):
             kind = int(rows[i]["kind"])
             if kind == KIND_SCALAR:
+                t0 = env.now
                 yield from self.scalar_block(i, rec)
+                if self.timeline is not None:
+                    self.timeline.add("scalar-core", f"scalar[{i}]",
+                                      t0, env.now)
                 self.finish(i)
                 continue
             if kind == KIND_BARRIER:
                 waits = [self.done_ev[j] for j in sorted(self.pending)]
                 if waits:
                     yield env.all_of(waits)
+                if self.timeline is not None:
+                    self.timeline.instant("scalar-core", f"barrier[{i}]",
+                                          env.now)
                 self.finish(i)
                 continue
             opclass = _OPCLASS[rows[i]["opclass"]]
@@ -343,9 +364,18 @@ class _Machine:
                 yield env.timeout(core_model.SCALAR_RESULT_TRANSFER_CYCLES)
 
 
-def simulate_events(ct: ClassifiedTrace) -> CycleReport:
-    """Run the discrete-event model over a classified trace."""
-    m = _Machine(ct)
+def simulate_events(ct: ClassifiedTrace, *, timeline=None) -> CycleReport:
+    """Run the discrete-event model over a classified trace.
+
+    ``timeline`` (a :class:`repro.obs.timeline.TimelineRecorder`) records
+    the actual simulated schedule per machine unit. The report's ``meta``
+    carries the memory-path component stats only this engine observes:
+    NoC message traffic, Latency Controller injections, Bandwidth Limiter
+    throttle delay, and L2 bank-port queueing.
+    """
+    if timeline is not None:
+        timeline.engine = "event"
+    m = _Machine(ct, timeline=timeline)
     m.env.process(m.core())
     m.env.run()
     return CycleReport(
@@ -358,5 +388,11 @@ def simulate_events(ct: ClassifiedTrace) -> CycleReport:
         bandwidth_bound_cycles=0.0,
         dram_reads=m.dram_reads,
         dram_writes=m.dram_writes,
-        meta={"records": int(ct.rows.shape[0])},
+        meta={
+            "records": int(ct.rows.shape[0]),
+            "noc": m.noc.stats,
+            "latency_ctl": m.latency_ctl.stats,
+            "limiter": m.limiter.stats,
+            "bank_wait_cycles": m.bank_wait_cycles,
+        },
     )

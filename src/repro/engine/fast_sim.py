@@ -40,13 +40,20 @@ _OPCLASS = list(VOpClass)
 _PATTERN = list(VMemPattern)
 
 
-def simulate_fast(ct: ClassifiedTrace) -> CycleReport:
-    """Time a classified trace; returns a :class:`CycleReport`."""
+def simulate_fast(ct: ClassifiedTrace, *, timeline=None) -> CycleReport:
+    """Time a classified trace; returns a :class:`CycleReport`.
+
+    ``timeline`` (a :class:`repro.obs.timeline.TimelineRecorder`) records
+    each record's analytical busy interval on its machine-unit track; the
+    default ``None`` keeps the hot loop free of bookkeeping.
+    """
     config = ct.config
     rows = ct.rows
     n = rows.shape[0]
     if n == 0:
         return CycleReport(cycles=0.0, engine="fast")
+    if timeline is not None:
+        timeline.engine = "fast"
 
     vpu = config.vpu
     mem = config.mem
@@ -98,6 +105,10 @@ def simulate_fast(ct: ClassifiedTrace) -> CycleReport:
             dram_writes += int(row["dram_writes"])
             start[i] = t_scalar - bt.total
             completion[i] = t_scalar
+            if timeline is not None:
+                timeline.add("scalar-core", f"scalar[{i}]",
+                             start[i], t_scalar,
+                             issue=bt.issue, stall=bt.stall)
             continue
 
         if kind == KIND_BARRIER:
@@ -105,6 +116,8 @@ def simulate_fast(ct: ClassifiedTrace) -> CycleReport:
             t_scalar = t_arith = t_arith_done = t_agu = t_vmem_done = t_sync
             t_mshr = min(t_mshr, t_sync)
             start[i] = completion[i] = t_sync
+            if timeline is not None:
+                timeline.instant("scalar-core", f"barrier[{i}]", t_sync)
             continue
 
         opclass = _OPCLASS[row["opclass"]]
@@ -140,6 +153,9 @@ def simulate_fast(ct: ClassifiedTrace) -> CycleReport:
             start[i] = s
             completion[i] = c
             acc_varith += occ
+            if timeline is not None:
+                timeline.add("vpu-arith", f"varith[{i}]", s, c,
+                             vl=int(row["vl"]), occupancy=occ)
             if row["scalar_dest"]:
                 t_scalar = max(
                     t_scalar,
@@ -206,6 +222,10 @@ def simulate_fast(ct: ClassifiedTrace) -> CycleReport:
             completion[i] = c
             first_lat[i] = cost.first_latency
             acc_vmem += busy
+            if timeline is not None:
+                timeline.add("vpu-mem", f"vmem[{i}]", s, c,
+                             vl=int(row["vl"]), lines=int(row["n_line_reqs"]),
+                             dram_reads=d)
             continue
 
         raise EngineError(f"unknown record kind {kind}")

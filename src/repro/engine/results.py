@@ -28,6 +28,9 @@ class CycleReport:
     dram_reads: int = 0
     dram_writes: int = 0
     meta: dict = field(default_factory=dict)
+    #: filled by repro.obs.attribution when an attribution pass ran: a
+    #: CycleAttribution whose buckets sum bit-exactly to ``cycles``.
+    attribution: object | None = None
 
     @property
     def dram_transactions(self) -> int:

@@ -57,6 +57,8 @@ class BandwidthLimiter:
     def reset(self) -> None:
         self._window_start = 0
         self._window_used = 0
+        self.admitted = 0            # requests admitted since reset
+        self.throttle_cycles = 0.0   # total admission delay imposed
 
     def admit(self, request_time: float) -> float:
         """Admission time for a request arriving at ``request_time``.
@@ -75,10 +77,20 @@ class BandwidthLimiter:
                 admit_at = max(t, self._window_start)
                 if admit_at < self._window_start + self._den:
                     self._window_used += 1
+                    self.admitted += 1
+                    self.throttle_cycles += max(0.0, admit_at - request_time)
                     return float(admit_at)
             self._window_start += self._den
             self._window_used = 0
             t = max(t, self._window_start)
+
+    @property
+    def stats(self) -> dict:
+        """Admission accounting since the last :meth:`reset`."""
+        return {
+            "admitted": self.admitted,
+            "throttle_cycles": self.throttle_cycles,
+        }
 
     # -- closed form (fast engine) --------------------------------------------
 

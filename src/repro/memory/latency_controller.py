@@ -19,6 +19,7 @@ class LatencyController:
     def __init__(self, extra_cycles: int = 0) -> None:
         self._extra = 0
         self.set_extra_cycles(extra_cycles)
+        self.reset_stats()
 
     @property
     def extra_cycles(self) -> int:
@@ -31,13 +32,24 @@ class LatencyController:
             raise ConfigError(f"extra latency must be >= 0, got {cycles}")
         self._extra = int(cycles)
 
+    def reset_stats(self) -> None:
+        self.requests = 0           # requests delayed since reset
+        self.added_cycles = 0.0     # total extra latency injected
+
     def delay(self, request_time: float) -> float:
         """Time at which a request entering at ``request_time`` exits.
 
         Pipelined: the exit time depends only on the entry time, never on
         other in-flight requests.
         """
+        self.requests += 1
+        self.added_cycles += self._extra
         return request_time + self._extra
+
+    @property
+    def stats(self) -> dict:
+        """Delay accounting since the last :meth:`reset_stats`."""
+        return {"requests": self.requests, "added_cycles": self.added_cycles}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"LatencyController(extra_cycles={self._extra})"

@@ -26,6 +26,31 @@ class MeshNoc:
         config.validate()
         self.config = config
         self.core_node = 0  # row-major node id of the core+VPU tile
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        self.messages = 0           # messages recorded since reset
+        self.total_hops = 0         # hop sum across recorded messages
+        self.latency_cycles = 0.0   # latency sum across recorded messages
+
+    def record_message(self, src: int, dst: int) -> int:
+        """Count one message and return its one-way latency (event engine
+        calls this per traversal so NoC traffic shows up in run stats)."""
+        hops = self.hops(src, dst)
+        lat = self.config.inject_cycles + hops * self.config.hop_cycles
+        self.messages += 1
+        self.total_hops += hops
+        self.latency_cycles += lat
+        return lat
+
+    @property
+    def stats(self) -> dict:
+        """Message accounting since the last :meth:`reset_stats`."""
+        return {
+            "messages": self.messages,
+            "total_hops": self.total_hops,
+            "latency_cycles": self.latency_cycles,
+        }
 
     def node_xy(self, node: int) -> tuple[int, int]:
         """(col, row) coordinates of a row-major node id."""

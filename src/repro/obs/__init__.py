@@ -1,0 +1,72 @@
+"""Observability: explain *why* a run took the cycles it took.
+
+The paper's claims are causal — long vectors tolerate latency because the
+memory queue keeps enough element requests outstanding to overlap the added
+DDR4 cycles — but a bare cycle total cannot show that. This package turns
+the simulator into a study instrument:
+
+* :mod:`repro.obs.attribution` — decomposes every run's cycle total into
+  named buckets (issue/decode, vector-unit busy, exposed DRAM latency,
+  bandwidth throttle, NoC, cache service) that sum **bit-exactly** to
+  ``CycleReport.cycles`` in every engine, plus the derived
+  "latency hidden by overlap" metric — the paper's claim (i), observable;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with mergeable
+  snapshots (workers ship theirs back to the sweep harness);
+* :mod:`repro.obs.spans` — nested wall-time spans over the harness stages
+  (trace generation, lowering, re-timing), Perfetto-exportable;
+* :mod:`repro.obs.timeline` — per-record machine activity recorded by the
+  timing engines (simulated-cycle extents);
+* :mod:`repro.obs.perfetto` — Chrome/Perfetto ``trace_event`` JSON export
+  for both spans and timelines;
+* :mod:`repro.obs.manifest` — schema-versioned machine-readable run
+  manifests written next to sweep results;
+* :mod:`repro.obs.profile` — the ``repro-sdv profile`` harness: the
+  per-VL attribution table ("short reasons" view).
+"""
+
+from repro.obs.attribution import (
+    BUCKET_ORDER,
+    CycleAttribution,
+    attribute,
+    attribute_many,
+    attribution_ladder,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_hash,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.perfetto import (
+    trace_events_from_spans,
+    trace_events_from_timeline,
+    validate_trace_events,
+    write_trace,
+)
+from repro.obs.spans import SpanTracer, get_tracer, set_tracing
+from repro.obs.timeline import TimelineRecorder
+
+__all__ = [
+    "BUCKET_ORDER",
+    "CycleAttribution",
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "SpanTracer",
+    "TimelineRecorder",
+    "attribute",
+    "attribute_many",
+    "attribution_ladder",
+    "build_manifest",
+    "config_hash",
+    "get_metrics",
+    "get_tracer",
+    "set_tracing",
+    "trace_events_from_spans",
+    "trace_events_from_timeline",
+    "validate_manifest",
+    "validate_trace_events",
+    "write_manifest",
+    "write_trace",
+]

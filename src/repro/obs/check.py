@@ -1,0 +1,57 @@
+"""Artifact validator: ``python -m repro.obs.check file [file ...]``.
+
+Sniffs each file's content — a run manifest (``repro.manifest/1``) or a
+Chrome/Perfetto ``trace_event`` dump — and validates it against the
+matching schema. Exits non-zero on the first invalid or unrecognizable
+file, so CI can assert that exported artifacts are well-formed without
+any extra tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.manifest import MANIFEST_SCHEMA, validate_manifest
+from repro.obs.perfetto import validate_trace_events
+
+
+def check_file(path: str) -> str:
+    """Validate one artifact; returns its kind ('manifest' or 'trace').
+
+    Raises ``ValueError`` when the file is neither, or fails validation.
+    """
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: top level must be a JSON object")
+    if data.get("schema") == MANIFEST_SCHEMA:
+        validate_manifest(data)
+        return "manifest"
+    if "traceEvents" in data:
+        validate_trace_events(data)
+        return "trace"
+    raise ValueError(
+        f"{path}: neither a {MANIFEST_SCHEMA} manifest nor a "
+        "trace_event dump"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else list(argv)
+    if not args:
+        print("usage: python -m repro.obs.check file [file ...]",
+              file=sys.stderr)
+        return 2
+    for path in args:
+        try:
+            kind = check_file(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"ok   {path} ({kind})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

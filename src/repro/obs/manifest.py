@@ -1,0 +1,151 @@
+"""Machine-readable run manifests.
+
+Every exported result (``--emit-json`` sweeps, ``repro-sdv profile``)
+carries a manifest answering "what exactly produced these numbers": config
+hash, workload fingerprint, engine, git revision, and the per-run cycle
+totals with their attribution buckets. The schema is versioned so later
+readers (BENCH trajectory tooling, CI artifact checks) can hard-fail on
+drift instead of silently misreading.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from pathlib import Path
+
+from repro.config import SdvConfig
+
+#: bump on any backwards-incompatible manifest layout change.
+MANIFEST_SCHEMA = "repro.manifest/1"
+
+#: keys every manifest must carry (validator contract).
+_REQUIRED = ("schema", "kernel", "engine", "config_hash", "created_unix",
+             "runs")
+#: keys every per-run entry must carry.
+_RUN_REQUIRED = ("impl", "cycles")
+
+
+def config_hash(config: SdvConfig) -> str:
+    """Stable short hash of the full hardware build + knob settings.
+
+    ``SdvConfig`` is a frozen dataclass tree of plain values, so its repr
+    is deterministic and exhaustive.
+    """
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+def git_revision() -> str | None:
+    """Current repo revision, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def build_manifest(*, kernel: str, engine: str, config: SdvConfig,
+                   runs: list[dict], scale: str | None = None,
+                   seed: int | None = None,
+                   workload_fingerprint: str | None = None,
+                   axis: str | None = None,
+                   points: list[int] | None = None,
+                   extra: dict | None = None) -> dict:
+    """Assemble a schema-versioned manifest.
+
+    ``runs`` is one entry per timed implementation:
+    ``{"impl": "vl256", "vl": 256, "cycles": ..., "buckets": {...}}``;
+    ``buckets``, when present, must sum (left to right) bit-exactly to
+    ``cycles`` — the validator enforces it, and JSON round-trips Python
+    floats exactly, so the invariant survives serialization.
+    """
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "kernel": kernel,
+        "engine": engine,
+        "config_hash": config_hash(config),
+        "git_rev": git_revision(),
+        "created_unix": time.time(),
+        "runs": runs,
+    }
+    if scale is not None:
+        manifest["scale"] = scale
+    if seed is not None:
+        manifest["seed"] = seed
+    if workload_fingerprint is not None:
+        manifest["workload"] = workload_fingerprint
+    if axis is not None:
+        manifest["axis"] = axis
+    if points is not None:
+        manifest["points"] = list(points)
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def validate_manifest(manifest) -> None:
+    """Raise ``ValueError`` unless ``manifest`` honours the schema.
+
+    Beyond key/type presence, re-checks the attribution invariant: each
+    run's buckets, summed in stored order, equal its cycle total exactly.
+    """
+    if not isinstance(manifest, dict):
+        raise ValueError("manifest must be a JSON object")
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"unsupported manifest schema {manifest.get('schema')!r} "
+            f"(expected {MANIFEST_SCHEMA})"
+        )
+    for key in _REQUIRED:
+        if key not in manifest:
+            raise ValueError(f"manifest missing required key {key!r}")
+    runs = manifest["runs"]
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("manifest 'runs' must be a non-empty list")
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            raise ValueError(f"{where} is not an object")
+        for key in _RUN_REQUIRED:
+            if key not in run:
+                raise ValueError(f"{where} missing required key {key!r}")
+        if not isinstance(run["cycles"], (int, float)):
+            raise ValueError(f"{where} cycles must be a number")
+        buckets = run.get("buckets")
+        if buckets is not None:
+            if not isinstance(buckets, dict):
+                raise ValueError(f"{where} buckets must be an object")
+            total = 0.0
+            for name, value in buckets.items():
+                if not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"{where} bucket {name!r} must be a number")
+                total += value
+            if total != run["cycles"]:
+                raise ValueError(
+                    f"{where} buckets sum to {total!r}, not the cycle "
+                    f"total {run['cycles']!r}"
+                )
+
+
+def write_manifest(path, manifest: dict) -> Path:
+    """Validate and write a manifest; returns the path."""
+    validate_manifest(manifest)
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    return p
+
+
+def load_and_validate(path) -> dict:
+    """Read a manifest file and validate it; returns the parsed object."""
+    manifest = json.loads(Path(path).read_text(encoding="utf-8"))
+    validate_manifest(manifest)
+    return manifest

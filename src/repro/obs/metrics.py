@@ -1,0 +1,137 @@
+"""Metrics registry: counters, gauges and histograms for the harness.
+
+Deliberately tiny — no label cardinality explosion, no export protocol
+dependencies. Instruments are created on first use (``registry.counter(
+"sweep.points_timed")``), snapshots are plain dicts, and snapshots merge,
+which is how ``--jobs`` worker processes ship their numbers back to the
+parent sweep (instrument objects never cross the process boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (events, items processed)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (queue depth, current config hash, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Observed-value distribution with exact summary statistics.
+
+    Keeps every observation (harness-scale cardinality: one per sweep
+    stage, not one per trace record), so percentiles are exact.
+    """
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1,
+                          round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+
+class MetricsRegistry:
+    """Name-addressed instrument store with mergeable snapshots."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def snapshot(self) -> dict:
+        """Plain-data view: picklable, JSON-serializable, mergeable."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {n: list(h.values)
+                           for n, h in self._histograms.items()},
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry.
+
+        Counters and histogram observations add; gauges take the incoming
+        value (last write wins, which is what a progress gauge wants).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in snapshot.get("histograms", {}).items():
+            self.histogram(name).values.extend(values)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: process-wide default registry (harness code records here; workers build
+#: their own and the parent merges their snapshots).
+_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY

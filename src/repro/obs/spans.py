@@ -1,0 +1,101 @@
+"""Nested span tracer for the sweep harness.
+
+A span is one timed stage (trace generation, lowering, batch re-timing)
+with a wall-clock extent and optional simulated-cycle extent. Spans nest
+via a context-manager stack, are plain picklable dataclasses (worker
+processes return theirs; the parent adopts them), and export to the
+Chrome/Perfetto ``trace_event`` format via :mod:`repro.obs.perfetto`.
+
+The process-wide tracer starts *disabled*: ``span()`` then costs one
+attribute check and records nothing, keeping instrumentation overhead off
+the sweep fast path unless the user asked for a trace dump.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) harness stage."""
+
+    name: str
+    t0: float                    # wall clock, time.perf_counter()
+    t1: float = 0.0              # 0.0 while open
+    depth: int = 0
+    pid: int = 0                 # recording process (worker spans differ)
+    attrs: dict = field(default_factory=dict)
+    cycles0: float | None = None  # simulated-cycle extent, if meaningful
+    cycles1: float | None = None
+
+    @property
+    def wall_s(self) -> float:
+        return max(0.0, self.t1 - self.t0)
+
+    def set_cycles(self, start: float, end: float) -> None:
+        self.cycles0 = float(start)
+        self.cycles1 = float(end)
+
+
+class SpanTracer:
+    """Collects nested spans; one per process (plus ad-hoc local ones)."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self.origin = time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a nested span; yields the :class:`Span` (or ``None`` when
+        the tracer is disabled, so callers never pay for bookkeeping)."""
+        if not self.enabled:
+            yield None
+            return
+        s = Span(name=name, t0=time.perf_counter(),
+                 depth=len(self._stack), pid=os.getpid(), attrs=dict(attrs))
+        self._stack.append(s)
+        self.spans.append(s)
+        try:
+            yield s
+        finally:
+            s.t1 = time.perf_counter()
+            self._stack.pop()
+
+    def adopt(self, spans: list[Span], **extra_attrs) -> None:
+        """Fold spans recorded elsewhere (a worker process) into this
+        tracer, preserving their wall-clock extents and pids."""
+        if not self.enabled:
+            return
+        for s in spans:
+            if extra_attrs:
+                s.attrs.update(extra_attrs)
+            self.spans.append(s)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+        self.origin = time.perf_counter()
+
+
+#: process-wide tracer, disabled by default (CLI enables for --emit-trace).
+_TRACER = SpanTracer(enabled=False)
+
+
+def get_tracer() -> SpanTracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+def set_tracing(enabled: bool) -> SpanTracer:
+    """Enable/disable the process-wide tracer; returns it (cleared when
+    switching on, so an export contains exactly one command's spans)."""
+    if enabled and not _TRACER.enabled:
+        _TRACER.clear()
+    _TRACER.enabled = enabled
+    return _TRACER

@@ -2,15 +2,24 @@
 
 The paper's measurements read the CPU cycle counter CSR (Section 3.2) and
 average five runs. Our simulator is deterministic, so one run suffices; the
-counter object still exposes the same reading discipline (snapshot/delta)
-so measurement code reads like the paper's.
+counter object still exposes the same reading discipline (snapshot/delta,
+:meth:`mean_cycles`/:meth:`stddev` over the run history) so measurement
+code reads like the paper's.
+
+Beyond the raw CSRs, the counters derive the Section 3.2 characterization
+metrics (vector instruction fraction, achieved memory bytes/cycle) and —
+when a run carried a :class:`repro.obs.attribution.CycleAttribution` —
+accumulate the attribution buckets, so ``repro-sdv headline`` and
+``characterize`` can report *why* the cycles were spent.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.engine.results import CycleReport
+from repro.util.units import LINE_BYTES
 
 
 @dataclass
@@ -23,6 +32,9 @@ class HwCounters:
     dram_reads: int = 0
     dram_writes: int = 0
     history: list[float] = field(default_factory=list)
+    #: attribution-bucket cycle sums across absorbed runs (empty until a
+    #: run carrying a CycleAttribution is absorbed).
+    buckets: dict = field(default_factory=dict)
 
     def absorb(self, report: CycleReport, *, scalar_instret: int = 0,
                vector_instret: int = 0) -> None:
@@ -33,6 +45,15 @@ class HwCounters:
         self.vector_instret += vector_instret
         self.dram_reads += report.dram_reads
         self.dram_writes += report.dram_writes
+        if report.attribution is not None:
+            self.record_attribution(report.attribution)
+
+    def record_attribution(self, attribution) -> None:
+        """Fold one run's attribution buckets into the accumulated view."""
+        for name, value in attribution.buckets.items():
+            self.buckets[name] = self.buckets.get(name, 0.0) + value
+
+    # -- reading discipline (paper Section 3.2) ---------------------------
 
     def snapshot(self) -> float:
         """Read the cycle CSR."""
@@ -42,3 +63,47 @@ class HwCounters:
     def delta(before: float, after: float) -> float:
         """Elapsed cycles between two snapshots."""
         return after - before
+
+    @property
+    def runs(self) -> int:
+        """Number of absorbed runs."""
+        return len(self.history)
+
+    def mean_cycles(self) -> float:
+        """Mean cycle count over the absorbed runs (the paper averages 5)."""
+        return self.cycles / len(self.history) if self.history else 0.0
+
+    def stddev(self) -> float:
+        """Sample standard deviation of the run history (0.0 below n=2)."""
+        n = len(self.history)
+        if n < 2:
+            return 0.0
+        mean = self.cycles / n
+        var = sum((c - mean) ** 2 for c in self.history) / (n - 1)
+        return math.sqrt(var)
+
+    # -- derived Section 3.2 metrics --------------------------------------
+
+    @property
+    def instret(self) -> int:
+        """Total retired instructions (scalar + vector)."""
+        return self.scalar_instret + self.vector_instret
+
+    @property
+    def vector_fraction(self) -> float:
+        """Fraction of retired instructions that were vector instructions."""
+        total = self.instret
+        return self.vector_instret / total if total else 0.0
+
+    @property
+    def achieved_bytes_per_cycle(self) -> float:
+        """DRAM traffic rate actually sustained across the absorbed runs."""
+        if self.cycles <= 0:
+            return 0.0
+        return (self.dram_reads + self.dram_writes) * LINE_BYTES / self.cycles
+
+    def bucket_fraction(self, name: str) -> float:
+        """Accumulated share of one attribution bucket (0.0 if unknown)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.buckets.get(name, 0.0) / self.cycles

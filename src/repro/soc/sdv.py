@@ -32,7 +32,13 @@ from repro.isa.csr import CsrFile
 from repro.isa.scalar_ctx import ScalarContext
 from repro.isa.vector_ctx import VectorContext
 from repro.memory.address_space import MemoryImage
-from repro.memory.classify import ClassifiedTrace, classify_trace
+from repro.memory.classify import (
+    KIND_SCALAR,
+    KIND_VARITH,
+    KIND_VMEM,
+    ClassifiedTrace,
+    classify_trace,
+)
 from repro.soc.hwcounters import HwCounters
 from repro.trace.events import TraceBuffer
 
@@ -158,17 +164,45 @@ class FpgaSdv:
             cache[key] = lowered
         return lowered
 
+    def _instret(self, ct: ClassifiedTrace) -> tuple[int, int]:
+        """(scalar, vector) retired-instruction counts of a trace."""
+        rows = ct.rows
+        kinds = rows["kind"]
+        scalar_mask = kinds == KIND_SCALAR
+        scalar = int(rows["n_alu"][scalar_mask].sum()
+                     + rows["n_mem"][scalar_mask].sum())
+        vector = int(((kinds == KIND_VARITH) | (kinds == KIND_VMEM)).sum())
+        return scalar, vector
+
     def time(self, trace: TraceBuffer, *, engine: str | None = None
              ) -> CycleReport:
         """Cycle-count a sealed trace under the current knob settings."""
         name = engine or self.engine
+        ct = self.classify(trace)
         if name == "batch":
             # reuse the trace-level lowered cache instead of re-lowering
             report = simulate_batch(self.lower(trace), [self.config])[0]
         else:
-            report = ENGINES[name](self.classify(trace))
-        self.counters.absorb(report)
+            report = ENGINES[name](ct)
+        scalar, vector = self._instret(ct)
+        self.counters.absorb(report, scalar_instret=scalar,
+                             vector_instret=vector)
         return report
+
+    def attribute(self, trace: TraceBuffer, *, engine: str | None = None):
+        """Cycle attribution of a sealed trace at the current knobs.
+
+        Returns a :class:`repro.obs.attribution.CycleAttribution` whose
+        buckets sum bit-exactly to the run's cycle total; the buckets are
+        also folded into :attr:`counters`.
+        """
+        from repro.obs.attribution import attribute  # avoid import cycle
+
+        name = engine or self.engine
+        ct = self.classify(trace)
+        att = attribute(ct, engine=name, lowered=self.lower(trace))
+        self.counters.record_attribution(att)
+        return att
 
     def time_many(self, trace: TraceBuffer, configs: Sequence[SdvConfig],
                   *, engine: str | None = None,

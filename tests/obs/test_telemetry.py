@@ -1,0 +1,179 @@
+"""Unit tests for the telemetry plumbing: metrics registry, span tracer,
+timeline recorder, Perfetto export, and run manifests."""
+
+import json
+
+import pytest
+
+from repro.config import SdvConfig
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_hash,
+    load_and_validate,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.perfetto import (
+    trace_events_from_spans,
+    trace_events_from_timeline,
+    validate_trace_events,
+    write_trace,
+)
+from repro.obs.perfetto import load_and_validate as load_trace
+from repro.obs.spans import SpanTracer
+from repro.obs.timeline import TimelineRecorder
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.counter("c").inc(2.5)
+        r.gauge("g").set(7)
+        for v in (1.0, 3.0, 2.0):
+            r.histogram("h").observe(v)
+        assert r.counter("c").value == 3.5
+        assert r.gauge("g").value == 7.0
+        h = r.histogram("h")
+        assert h.count == 3 and h.mean == 2.0
+        assert h.min == 1.0 and h.max == 3.0
+        assert h.percentile(50) == 2.0
+
+    def test_counter_cannot_decrease(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.counter("c").inc(-1)
+
+    def test_snapshot_merge_adds_counters_and_histograms(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("n").inc(1)
+        worker.counter("n").inc(4)
+        worker.histogram("h").observe(2.0)
+        worker.gauge("g").set(9)
+        snap = worker.snapshot()
+        assert json.dumps(snap)  # picklable/serializable plain data
+        parent.merge(snap)
+        assert parent.counter("n").value == 5.0
+        assert parent.histogram("h").values == [2.0]
+        assert parent.gauge("g").value == 9.0
+
+
+class TestSpans:
+    def test_nested_spans_record_depth(self):
+        t = SpanTracer(enabled=True)
+        with t.span("outer", kernel="spmv"):
+            with t.span("inner"):
+                pass
+        assert [s.name for s in t.spans] == ["outer", "inner"]
+        assert t.spans[0].depth == 0 and t.spans[1].depth == 1
+        assert t.spans[0].wall_s >= t.spans[1].wall_s
+        assert t.spans[0].attrs == {"kernel": "spmv"}
+
+    def test_disabled_tracer_records_nothing(self):
+        t = SpanTracer(enabled=False)
+        with t.span("x") as s:
+            assert s is None
+        assert t.spans == []
+
+    def test_adopt_preserves_worker_spans(self):
+        parent, worker = SpanTracer(enabled=True), SpanTracer(enabled=True)
+        with worker.span("work"):
+            pass
+        parent.adopt(worker.spans, impl="vl8")
+        assert parent.spans[0].name == "work"
+        assert parent.spans[0].attrs["impl"] == "vl8"
+
+
+class TestTimelineAndPerfetto:
+    def _timeline(self):
+        tl = TimelineRecorder(engine="fast")
+        tl.add("scalar-core", "scalar[0]", 0.0, 10.0, issue=4)
+        tl.add("vpu-mem", "vmem[1]", 5.0, 30.0, vl=64)
+        tl.instant("scalar-core", "barrier[2]", 30.0)
+        return tl
+
+    def test_recorder_tracks_end_cycle(self):
+        tl = self._timeline()
+        assert tl.end_cycle == 30.0
+        assert len(tl.events) == 3
+
+    def test_timeline_export_validates(self):
+        events = trace_events_from_timeline(self._timeline(), pid=3,
+                                            label="unit")
+        validate_trace_events({"traceEvents": events})
+        names = {e["name"] for e in events}
+        assert {"scalar[0]", "vmem[1]", "barrier[2]"} <= names
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "unit" for e in meta)
+
+    def test_span_export_validates(self):
+        t = SpanTracer(enabled=True)
+        with t.span("sweep:spmv:latency"):
+            with t.span("re-time:spmv:vl8"):
+                pass
+        events = trace_events_from_spans(t.spans)
+        validate_trace_events({"traceEvents": events})
+        x = [e for e in events if e["ph"] == "X"]
+        assert len(x) == 2 and all(e["ts"] >= 0 for e in x)
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        events = trace_events_from_timeline(self._timeline())
+        write_trace(path, events, metadata={"kernel": "spmv"})
+        obj = load_trace(path)
+        assert obj["otherData"]["kernel"] == "spmv"
+
+    def test_validator_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_trace_events({"traceEvents": [{"ph": "Z", "name": "x",
+                                                    "pid": 0, "tid": 0}]})
+        with pytest.raises(ValueError):
+            validate_trace_events({"no_events": []})
+
+
+class TestManifest:
+    def _manifest(self, **kwargs):
+        return build_manifest(
+            kernel="spmv", engine="fast", config=SdvConfig().validate(),
+            runs=[{"impl": "vl8", "cycles": 10.0,
+                   "buckets": {"a": 4.0, "b": 6.0}}],
+            **kwargs,
+        )
+
+    def test_build_and_validate(self):
+        m = self._manifest(scale="ci", seed=7, axis="latency",
+                           points=[0, 32])
+        validate_manifest(m)
+        assert m["schema"] == MANIFEST_SCHEMA
+        assert m["points"] == [0, 32]
+
+    def test_config_hash_tracks_knobs(self):
+        base = SdvConfig().validate()
+        assert config_hash(base) != config_hash(base.with_extra_latency(64))
+        assert config_hash(base) == config_hash(SdvConfig().validate())
+
+    def test_rejects_bucket_sum_mismatch(self):
+        m = self._manifest()
+        m["runs"][0]["buckets"]["a"] = 5.0
+        with pytest.raises(ValueError, match="buckets sum"):
+            validate_manifest(m)
+
+    def test_rejects_wrong_schema_and_missing_keys(self):
+        m = self._manifest()
+        m["schema"] = "repro.manifest/999"
+        with pytest.raises(ValueError, match="schema"):
+            validate_manifest(m)
+        m = self._manifest()
+        del m["config_hash"]
+        with pytest.raises(ValueError, match="config_hash"):
+            validate_manifest(m)
+
+    def test_write_and_reload(self, tmp_path):
+        path = tmp_path / "run.manifest.json"
+        m = self._manifest()
+        write_manifest(path, m)
+        again = load_and_validate(path)
+        # float cycle totals survive the JSON round-trip bit-exactly
+        assert again["runs"][0]["buckets"] == m["runs"][0]["buckets"]

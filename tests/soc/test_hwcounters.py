@@ -1,7 +1,10 @@
 """Unit tests for the hardware-counter facade."""
 
+import pytest
+
 from repro.engine.results import CycleReport
 from repro.soc.hwcounters import HwCounters
+from repro.util.units import LINE_BYTES
 
 
 def report(cycles=100.0, reads=5, writes=2):
@@ -26,3 +29,60 @@ def test_snapshot_delta_discipline():
     c.absorb(report(42.0))
     after = c.snapshot()
     assert HwCounters.delta(before, after) == 42.0
+
+
+def test_mean_uses_run_history():
+    """The paper averages 5 runs; mean_cycles must divide by the number of
+    absorbed runs, not return the raw accumulator."""
+    c = HwCounters()
+    for cycles in (100.0, 200.0, 300.0):
+        c.absorb(report(cycles))
+    assert c.runs == 3
+    assert c.mean_cycles() == 200.0
+    assert c.cycles == 600.0  # accumulator unchanged by the mean
+
+
+def test_mean_and_stddev_of_empty_counters():
+    c = HwCounters()
+    assert c.runs == 0
+    assert c.mean_cycles() == 0.0
+    assert c.stddev() == 0.0
+
+
+def test_stddev_sample_formula():
+    c = HwCounters()
+    c.absorb(report(10.0))
+    assert c.stddev() == 0.0  # undefined below n=2
+    c.absorb(report(20.0))
+    c.absorb(report(30.0))
+    assert c.stddev() == pytest.approx(10.0)
+
+
+def test_vector_fraction_and_achieved_bandwidth():
+    c = HwCounters()
+    c.absorb(report(100.0, reads=3, writes=1), scalar_instret=60,
+             vector_instret=40)
+    assert c.instret == 100
+    assert c.vector_fraction == pytest.approx(0.4)
+    assert c.achieved_bytes_per_cycle == pytest.approx(4 * LINE_BYTES / 100)
+
+
+def test_vector_fraction_with_no_instructions():
+    assert HwCounters().vector_fraction == 0.0
+    assert HwCounters().achieved_bytes_per_cycle == 0.0
+
+
+class _FakeAttribution:
+    buckets = {"vpu_busy": 70.0, "dram_stall": 30.0}
+
+
+def test_absorb_folds_attribution_buckets():
+    c = HwCounters()
+    r = report(100.0)
+    r.attribution = _FakeAttribution()
+    c.absorb(r)
+    c.record_attribution(_FakeAttribution())
+    assert c.buckets == {"vpu_busy": 140.0, "dram_stall": 60.0}
+    # fractions are relative to total absorbed cycles (one absorb only)
+    assert c.bucket_fraction("vpu_busy") == pytest.approx(1.4)
+    assert c.bucket_fraction("unknown") == 0.0
