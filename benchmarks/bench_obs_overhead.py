@@ -5,9 +5,10 @@ fast path pays (almost) nothing: the process-wide tracer starts disabled,
 metrics are a handful of counter increments per *implementation* (not per
 sweep point), and attribution is strictly opt-in. This bench pins that
 promise: a full latency sweep with tracing + metrics live must stay within
-5% of the uninstrumented wall time. The opt-in attribution cost is
-reported alongside for scale (it does real extra work — ladder walks —
-so it is not held to the 5% bar).
+5% of the uninstrumented wall time. The opt-in attribution cost does
+real extra work (ladder walks), so it gets its own, looser bar: the
+fused ``attribute_many`` batch walks must keep it within 30% of the
+plain sweep.
 """
 
 import time
@@ -57,8 +58,11 @@ def test_bench_instrumentation_overhead(workloads):
         f"({attribution_pct:+.1f}%, opt-in extra work)",
     ]))
 
-    # the acceptance bar: instrumentation (not opt-in attribution work)
-    # costs at most 5% of sweep wall time
+    # the acceptance bars: instrumentation costs at most 5% of sweep wall
+    # time; opt-in per-point attribution at most 30% on top of the sweep
     assert overhead_pct <= 5.0, (
         f"instrumentation overhead {overhead_pct:.1f}% exceeds 5%"
+    )
+    assert attribution_pct <= 30.0, (
+        f"attribution overhead {attribution_pct:.1f}% exceeds 30%"
     )

@@ -1,0 +1,104 @@
+"""Trace-generation throughput: columnar + templated emission vs objects.
+
+Batch re-timing made generation the sweep's wall-clock bottleneck, so the
+trace layer grew two fast paths on top of the validated object path: the
+buffer's columnar emitters (no per-record dataclass) and strip-mine loop
+templating (record one iteration, replicate vectorized). All three are
+bit-identical — ``tests/kernels/test_trace_equality.py`` pins that — so
+the only question left is speed.
+
+This bench times one vector-trace generation per kernel on each path.
+At ``paper`` scale (the default here — fixed per-run costs amortize and
+it is the scale whose wall clock motivated the fast paths) it holds the
+headline claim: the default (templated) path generates at least 10x the
+object path's throughput on at least two kernels. At every scale it
+also guards against regressions: each kernel's speedup must stay within
+20% of the committed same-scale baseline ratio, a machine-independent
+check (both paths run on the same interpreter, so their *ratio* is
+stable where absolute times are not).
+"""
+
+import os
+import time
+
+from conftest import write_result
+
+from repro.core.sweeps import run_implementation
+from repro.kernels import KERNELS
+from repro.trace import modes
+from repro.workloads import get_scale
+
+_VL = 64
+_SEED = 7
+
+#: committed min-of-3 speedup ratios (object / templated) per scale; a run
+#: below 0.8x of these fails — that is a real regression, not timer noise
+_BASELINE_SPEEDUP = {
+    "ci": {"bfs": 9.5, "fft": 2.2, "pagerank": 6.5, "spmv": 2.8},
+    "paper": {"bfs": 9.5, "fft": 5.0, "pagerank": 10.0, "spmv": 3.0},
+}
+
+
+def _gen_seconds(spec, workload, *, object_path, templated, repeats=3):
+    best = float("inf")
+    n_records = 0
+    for _ in range(repeats):
+        with modes.object_emission(object_path), \
+                modes.templating(templated):
+            t0 = time.perf_counter()
+            _, trace = run_implementation(spec, workload, _VL,
+                                          verify=False)
+            best = min(best, time.perf_counter() - t0)
+        n_records = len(trace)
+    return best, n_records
+
+
+def test_bench_trace_generation():
+    scale_name = os.environ.get("REPRO_BENCH_SCALE", "paper")
+    scale = get_scale(scale_name)
+    workloads = {name: spec.prepare(scale, _SEED)
+                 for name, spec in KERNELS.items()}
+
+    # warm-up: imports, allocator, interpreter caches
+    _gen_seconds(KERNELS["fft"], workloads["fft"],
+                 object_path=False, templated=True, repeats=1)
+
+    lines = [
+        f"trace-generation throughput — vl={_VL} vector trace per kernel, "
+        f"scale={scale_name} (min of 3)",
+        f"{'kernel':<10} {'records':>9} {'object':>10} {'columnar':>10} "
+        f"{'templated':>10} {'speedup':>8}",
+    ]
+    speedups = {}
+    for name in sorted(KERNELS):
+        spec, wl = KERNELS[name], workloads[name]
+        t_obj, n = _gen_seconds(spec, wl, object_path=True,
+                                templated=False)
+        t_col, _ = _gen_seconds(spec, wl, object_path=False,
+                                templated=False)
+        t_tpl, _ = _gen_seconds(spec, wl, object_path=False,
+                                templated=True)
+        speedups[name] = t_obj / t_tpl
+        lines.append(
+            f"{name:<10} {n:>9} {t_obj * 1e3:>8.1f}ms {t_col * 1e3:>8.1f}ms "
+            f"{t_tpl * 1e3:>8.1f}ms {speedups[name]:>7.1f}x"
+        )
+    lines.append("speedup = object path time / templated (default) path "
+                 "time, same bit-identical trace")
+    write_result("trace_gen_throughput", "\n".join(lines))
+
+    baseline = _BASELINE_SPEEDUP.get(scale_name, {})
+    regressed = {n: round(s, 1) for n, s in speedups.items()
+                 if n in baseline and s < 0.8 * baseline[n]}
+    assert not regressed, (
+        f"trace-generation speedup regressed >20% vs the committed "
+        f"{scale_name}-scale baseline: {regressed} "
+        f"(baseline: {baseline})"
+    )
+
+    if scale_name == "paper":
+        fast_enough = [n for n, s in speedups.items() if s >= 10.0]
+        assert len(fast_enough) >= 2, (
+            f"templated generation is >=10x on only {fast_enough} "
+            f"(speedups: { {k: round(v, 1) for k, v in speedups.items()} })"
+        )

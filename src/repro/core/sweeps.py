@@ -24,6 +24,7 @@ bandwidth 1..64 B/cycle in powers of two, VL in {8,...,256} plus scalar.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import os
 import pickle
 import sys
@@ -41,6 +42,7 @@ from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.spans import SpanTracer, get_tracer
 from repro.soc.sdv import FpgaSdv
 from repro.trace.events import TraceBuffer
+from repro.trace.serialize import FORMAT_VERSION as TRACE_FORMAT_VERSION
 from repro.trace.serialize import load_trace, save_trace
 
 #: Figure 3/4 x-axis: extra latency cycles added by the Latency Controller.
@@ -71,15 +73,49 @@ def workload_fingerprint(workload) -> str:
     return hashlib.sha256(payload).hexdigest()[:16]
 
 
+def kernel_fingerprint(spec: KernelSpec) -> str:
+    """Content hash of the code that would generate the trace.
+
+    A cached trace is only as good as the emitters that recorded it: if a
+    kernel's scalar or vector implementation changes (or the module around
+    it — templated emitters lean on module-level helpers), previously
+    cached traces must not be served. Hashing the defining modules' source
+    invalidates them automatically. Callables without retrievable source
+    (ad-hoc lambdas, C extensions) fall back to their repr, which at least
+    separates distinct functions.
+    """
+    parts = [spec.name]
+    for fn in (spec.scalar, spec.vector):
+        mod = sys.modules.get(getattr(fn, "__module__", None))
+        try:
+            parts.append(inspect.getsource(mod if mod is not None else fn))
+        except (OSError, TypeError):
+            try:
+                parts.append(inspect.getsource(fn))
+            except (OSError, TypeError):
+                parts.append(repr(fn))
+    return hashlib.sha256("\0".join(parts).encode()).hexdigest()[:12]
+
+
 def trace_cache_path(cache_dir: str | os.PathLike, spec_name: str,
-                     workload, vl: int | None, sdv: FpgaSdv) -> Path:
-    """Cache file for one (kernel, workload, max_vl, geometry) trace."""
+                     workload, vl: int | None, sdv: FpgaSdv,
+                     spec: KernelSpec | None = None) -> Path:
+    """Cache file for one (kernel, workload, max_vl, geometry) trace.
+
+    The name carries everything that determines the recorded trace: the
+    kernel + workload + VL + SoC geometry, the on-disk trace schema
+    version (``serialize.FORMAT_VERSION``), and — when ``spec`` is given —
+    a fingerprint of the kernel's emitter source, so stale traces from an
+    older schema or an edited kernel are never loaded.
+    """
+    src = kernel_fingerprint(spec) if spec is not None else "nosrc"
     geom = hashlib.sha256(
         repr((sdv.geometry_key(), sdv.config.memory_bytes,
               None if vl is None else sdv.max_vl)).encode()
     ).hexdigest()[:12]
     name = (f"{spec_name}-{impl_label(vl)}-"
-            f"{workload_fingerprint(workload)}-{geom}.npz")
+            f"{workload_fingerprint(workload)}-{geom}-"
+            f"t{TRACE_FORMAT_VERSION}-{src}.npz")
     return Path(cache_dir) / name
 
 
@@ -116,7 +152,8 @@ def run_implementation(
             raise TraceError(
                 f"trace cache path '{root}' exists and is not a directory"
             )
-        cache_path = trace_cache_path(root, spec.name, workload, vl, sdv)
+        cache_path = trace_cache_path(root, spec.name, workload, vl, sdv,
+                                      spec=spec)
         if cache_path.exists():
             return sdv, load_trace(cache_path)
 
@@ -195,9 +232,21 @@ def _time_one_impl(spec: KernelSpec, workload, vl: int | None, axis: str,
         )
 
     with tracer.span(f"re-time:{spec.name}:{label}", kernel=spec.name,
-                     impl=label, engine=engine, points=len(points)):
+                     impl=label, engine=engine, points=len(points),
+                     attributions=attributions):
         t0 = time.perf_counter()
-        if engine == "batch" and not keep_reports:
+        if attributions and engine == "batch" and not keep_reports:
+            # fused path: ONE vectorized walk times every sweep point AND
+            # every attribution-ladder rung (the ladder's L0 column *is*
+            # the sweep cycle count, bit-for-bit), so turning buckets on
+            # costs a few extra knob-axis columns, not extra walks
+            from repro.obs.attribution import attribute_many
+
+            atts = attribute_many(sdv.classify(trace), configs,
+                                  lowered=sdv.lower(trace))
+            measurements = [measurement(p, att.total, None, att)
+                            for p, att in zip(points, atts)]
+        elif engine == "batch" and not keep_reports:
             # compact path: one vectorized walk, a bare cycles vector, no
             # intermediate CycleReport garbage
             cycles = sdv.time_many(trace, configs, engine="batch",
@@ -212,7 +261,7 @@ def _time_one_impl(spec: KernelSpec, workload, vl: int | None, axis: str,
         registry.histogram("sweep.retime_s").observe(
             time.perf_counter() - t0)
 
-    if attributions:
+    if attributions and not (engine == "batch" and not keep_reports):
         from repro.obs.attribution import attribute_many
 
         with tracer.span(f"attribute:{spec.name}:{label}", kernel=spec.name,

@@ -70,8 +70,22 @@ def _knob_axes(lowered: LoweredTrace, configs: Sequence[SdvConfig]):
 
 
 def _walk(lowered: LoweredTrace, lat: np.ndarray, den: np.ndarray,
-          num: np.ndarray) -> dict:
+          num: np.ndarray, l2_lat: np.ndarray | None = None) -> dict:
     """Run the frontier recurrence once with the knob axis vectorized.
+
+    ``l2_lat`` generalizes the axis beyond the two runtime knobs: it is the
+    per-config L2 hit latency (default: the lowered trace's own). The
+    attribution ladder uses it to re-time NoC-free and minimal-cache
+    idealizations from the *same* lowered arrays — the L2 latency enters
+    the model in exactly two places (scalar-block L2 stalls and the
+    first-element latency of L2-served vector loads), both kept as raw
+    counts in the lowered form.
+
+    The loop reuses a fixed set of scratch buffers with ``out=`` ufunc
+    calls and only materializes chain/completion rows for records some
+    later record actually depends on; the arithmetic is operation-for-
+    operation the one :func:`simulate_fast` performs, so cycles agree
+    bit-for-bit (the agreement tests pin this).
 
     Returns the end-time vector plus the knob-dependent breakdown pieces.
     """
@@ -84,15 +98,20 @@ def _walk(lowered: LoweredTrace, lat: np.ndarray, den: np.ndarray,
     q_depth = vpu.mem_queue_depth
     line_mshrs = vpu.line_mshrs
     pipe_lat = vpu_model.arith_latency(base)
-    PIPE = vpu_model.LANE_PIPE_DEPTH
+    PIPE = float(vpu_model.LANE_PIPE_DEPTH)
     DISPATCH = core_model.VECTOR_DISPATCH_CYCLES
     VSETVL = core_model.VSETVL_CYCLES
     XFER = core_model.SCALAR_RESULT_TRANSFER_CYCLES
+    if l2_lat is None:
+        l2_lat = np.full(K, base.l2_hit_latency)
 
     # knob-dependent per-record matrices, vectorized over (records, K) ----
     bw_win = den / num                                      # cycles per txn
+    # same float ops in the same order as core_model.scalar_block_time:
+    # (issue + l2_hits*l2_lat/p) + dram_reads*dram_lat/p, then the bw floor
     sc_total = np.maximum(
-        lowered.sc_const[:, None]
+        lowered.sc_issue[:, None]
+        + lowered.sc_l2_hits[:, None] * l2_lat[None, :] / lowered.sc_p[:, None]
         + lowered.sc_dram_reads[:, None] * lat[None, :] / lowered.sc_p[:, None],
         lowered.sc_bw_txns[:, None] * den[None, :] / num[None, :],
     )
@@ -101,132 +120,177 @@ def _walk(lowered: LoweredTrace, lat: np.ndarray, den: np.ndarray,
         lowered.vm_l2_lines[:, None]
         + lowered.vm_txns[:, None] * den[None, :] / num[None, :],
     )
-    vm_busy = np.maximum(lowered.vm_addr[:, None], vm_service)
-    fk = lowered.vm_first_kind[:, None]
-    vm_first = np.where(fk == FIRST_DRAM, lat[None, :],
-                        np.where(fk == FIRST_L2, base.l2_hit_latency, 0.0))
-    vm_mshr_inc = lowered.vm_dram_reads[:, None] * lat[None, :] / line_mshrs
-    has_dram = lowered.vm_dram_reads > 0
+    vm_busy_m = np.maximum(lowered.vm_addr[:, None], vm_service)
+    fkind = lowered.vm_first_kind[:, None]
+    vm_first_m = np.where(fkind == FIRST_DRAM, lat[None, :],
+                          np.where(fkind == FIRST_L2, l2_lat[None, :], 0.0))
+    vm_mshr_m = lowered.vm_dram_reads[:, None] * lat[None, :] / line_mshrs
 
-    # frontiers, one element per config -----------------------------------
-    t_scalar = np.zeros(K)
-    t_arith = np.zeros(K)
-    t_arith_done = np.zeros(K)
-    t_agu = np.zeros(K)
-    t_mshr = np.zeros(K)
-    t_vmem_done = np.zeros(K)
-
-    start = np.zeros((n, K))
-    completion = np.zeros((n, K))
-    first_lat = np.zeros((n, K))
-    mem_comp = np.empty((lowered.n_vmem, K))
-    n_mem = 0
+    # per-record row lists: plain list indexing beats repeated 2-D numpy
+    # row extraction in the walk below
+    sc_rows = list(sc_total)
+    vm_busy = list(vm_busy_m)
+    vm_first = list(vm_first_m)
+    vm_mshr = list(vm_mshr_m)
+    has_dram = (lowered.vm_dram_reads > 0).tolist()
+    va_occ = lowered.va_occ.tolist()
+    vm_addr = lowered.vm_addr.tolist()
 
     kinds = lowered.kind
     deps = lowered.dep
     slots = lowered.slot
     sdest = lowered.scalar_dest
-    va_occ = lowered.va_occ
+
+    # vsetvl/barrier rows only need start/completion stored if something
+    # actually depends on them (register dataflow never does)
+    dep_arr = np.asarray(deps, dtype=np.int64)
+    needed_arr = np.zeros(n, dtype=bool)
+    needed_arr[dep_arr[dep_arr >= 0]] = True
+    needed = needed_arr.tolist()
+
+    # frontiers, one element per config -----------------------------------
+    t_scalar = np.zeros(K)
+    t_arith = np.zeros(K)
+    t_agu = np.zeros(K)
+    t_mshr = np.zeros(K)
+
+    # chain[i] = start + first_latency; completion[i] = completion. Each
+    # record's rows are computed in place (no scratch-then-copy); rows of
+    # records nothing reads stay zero, which the segment maxima below
+    # absorb exactly (all frontier times are non-negative, max is exact).
+    chain = np.zeros((n, K))
+    completion = np.zeros((n, K))
+    chain_rows = list(chain)
+    comp_rows = list(completion)
+    mem_comp: list = []        # completion-row views of memory records
+    n_mem = 0
+
+    b_ready = np.empty(K)
+    b_floor = np.empty(K)
+    b_tmp = np.empty(K)
+
+    add = np.add
     maximum = np.maximum
 
-    for i in range(n):
-        kind = kinds[i]
+    # Instead of running "latest completion" frontiers updated per record,
+    # barrier joins take one vectorized max over the segment's completion
+    # rows: t_arith carries the previous sync forward, so
+    # max(t_scalar, t_arith, completions since the last barrier) equals
+    # the fast engine's 4-way join bit-for-bit.
+    seg0 = 0                   # first record of the current barrier segment
+
+    for i, (kind, dep, slot) in enumerate(zip(kinds, deps, slots)):
+
+        if kind == LKIND_VARITH:
+            add(t_scalar, DISPATCH, out=t_scalar)           # dispatch
+            s_row = chain_rows[i]
+            c_row = comp_rows[i]
+            has_floor = False
+            if dep >= 0:
+                if chaining:
+                    add(chain_rows[dep], PIPE, out=s_row)
+                    maximum(s_row, t_scalar, out=s_row)
+                    maximum(s_row, t_arith, out=s_row)      # s
+                    add(comp_rows[dep], PIPE, out=b_floor)
+                    has_floor = True
+                else:
+                    maximum(t_scalar, comp_rows[dep], out=s_row)
+                    maximum(s_row, t_arith, out=s_row)
+            else:
+                maximum(t_scalar, t_arith, out=s_row)
+            add(s_row, va_occ[slot], out=t_arith)
+            add(t_arith, pipe_lat, out=c_row)
+            if has_floor:
+                maximum(c_row, b_floor, out=c_row)
+            if sdest[i]:
+                add(c_row, XFER, out=b_tmp)
+                maximum(t_scalar, b_tmp, out=t_scalar)
+            continue
+
+        if kind == LKIND_VMEM:
+            add(t_scalar, DISPATCH, out=t_scalar)           # dispatch
+            s_row = chain_rows[i]
+            c_row = comp_rows[i]
+            has_floor = False
+            if dep >= 0:
+                if chaining:
+                    add(chain_rows[dep], PIPE, out=b_ready)
+                    maximum(b_ready, t_scalar, out=b_ready)
+                    add(comp_rows[dep], PIPE, out=b_floor)
+                    has_floor = True
+                else:
+                    maximum(t_scalar, comp_rows[dep], out=b_ready)
+
+                if ooo:
+                    maximum(t_agu, t_scalar, out=t_agu)     # agu_slot
+                    if n_mem >= q_depth:
+                        maximum(t_agu, mem_comp[n_mem - q_depth], out=t_agu)
+                    maximum(t_agu, b_ready, out=b_ready)    # s
+                    add(t_agu, vm_addr[slot], out=t_agu)
+                else:
+                    maximum(b_ready, t_agu, out=b_ready)
+                    if n_mem >= q_depth:
+                        maximum(b_ready, mem_comp[n_mem - q_depth],
+                                out=b_ready)
+                    add(b_ready, vm_addr[slot], out=t_agu)  # b_ready is s
+            else:
+                # no dep: ready == t_scalar, so s collapses onto the AGU
+                # frontier (it already majorizes t_scalar) — one op fewer
+                if ooo:
+                    maximum(t_agu, t_scalar, out=t_agu)     # agu_slot
+                    if n_mem >= q_depth:
+                        maximum(t_agu, mem_comp[n_mem - q_depth], out=t_agu)
+                    b_ready[:] = t_agu                      # s
+                    add(t_agu, vm_addr[slot], out=t_agu)
+                else:
+                    maximum(t_scalar, t_agu, out=b_ready)
+                    if n_mem >= q_depth:
+                        maximum(b_ready, mem_comp[n_mem - q_depth],
+                                out=b_ready)
+                    add(b_ready, vm_addr[slot], out=t_agu)  # b_ready is s
+
+            add(b_ready, vm_first[slot], out=s_row)         # s + first
+            add(s_row, vm_busy[slot], out=c_row)
+            if has_floor:
+                maximum(c_row, b_floor, out=c_row)
+            if has_dram[slot]:
+                add(b_ready, lat, out=b_tmp)
+                maximum(t_mshr, b_tmp, out=t_mshr)
+                add(t_mshr, vm_mshr[slot], out=t_mshr)
+                maximum(c_row, t_mshr, out=c_row)
+            mem_comp.append(c_row)
+            n_mem += 1
+            continue
 
         if kind == LKIND_SCALAR:
-            t_scalar = t_scalar + sc_total[slots[i]]
+            add(t_scalar, sc_rows[slot], out=t_scalar)
             continue
 
         if kind == LKIND_CSR:
-            t_scalar = t_scalar + VSETVL
-            start[i] = t_scalar
-            completion[i] = t_scalar
+            add(t_scalar, VSETVL, out=t_scalar)
+            if needed[i]:
+                chain_rows[i][:] = t_scalar
+                comp_rows[i][:] = t_scalar
             continue
 
-        if kind == LKIND_BARRIER:
-            t_sync = maximum(maximum(t_scalar, t_arith),
-                             maximum(t_arith_done, t_vmem_done))
-            t_mshr = np.minimum(t_mshr, t_sync)
-            t_scalar = t_sync
-            t_arith = t_sync
-            t_arith_done = t_sync
-            t_agu = t_sync
-            t_vmem_done = t_sync
-            start[i] = t_sync
-            completion[i] = t_sync
-            continue
+        # LKIND_BARRIER
+        maximum(t_scalar, t_arith, out=b_tmp)
+        if i > seg0:
+            completion[seg0:i].max(axis=0, out=b_ready)
+            maximum(b_tmp, b_ready, out=b_tmp)              # t_sync
+        np.minimum(t_mshr, b_tmp, out=t_mshr)
+        t_scalar[:] = b_tmp
+        t_arith[:] = b_tmp
+        t_agu[:] = b_tmp
+        if needed[i]:
+            chain_rows[i][:] = b_tmp
+            comp_rows[i][:] = b_tmp
+        seg0 = i + 1
 
-        dep = deps[i]
-
-        if kind == LKIND_VARITH:
-            occ = va_occ[slots[i]]
-            dispatch = t_scalar + DISPATCH
-            t_scalar = dispatch
-
-            ready = dispatch
-            floor = None
-            if dep >= 0:
-                if chaining:
-                    ready = maximum(ready,
-                                    start[dep] + first_lat[dep] + PIPE)
-                    floor = completion[dep] + PIPE
-                else:
-                    ready = maximum(ready, completion[dep])
-            s = maximum(ready, t_arith)
-            t_arith = s + occ
-            c = t_arith + pipe_lat
-            if floor is not None:
-                c = maximum(c, floor)
-            t_arith_done = maximum(t_arith_done, c)
-            start[i] = s
-            completion[i] = c
-            if sdest[i]:
-                t_scalar = maximum(t_scalar, c + XFER)
-            continue
-
-        # LKIND_VMEM
-        slot = slots[i]
-        dispatch = t_scalar + DISPATCH
-        t_scalar = dispatch
-
-        ready = dispatch
-        floor = None
-        if dep >= 0:
-            if chaining:
-                ready = maximum(ready, start[dep] + first_lat[dep] + PIPE)
-                floor = completion[dep] + PIPE
-            else:
-                ready = maximum(ready, completion[dep])
-
-        slot_free = mem_comp[n_mem - q_depth] if n_mem >= q_depth else None
-
-        if ooo:
-            agu_slot = maximum(t_agu, dispatch)
-            if slot_free is not None:
-                agu_slot = maximum(agu_slot, slot_free)
-            t_agu = agu_slot + lowered.vm_addr[slot]
-            s = maximum(agu_slot, ready)
-        else:
-            s = maximum(ready, t_agu)
-            if slot_free is not None:
-                s = maximum(s, slot_free)
-            t_agu = s + lowered.vm_addr[slot]
-
-        fl = vm_first[slot]
-        c = s + fl + vm_busy[slot]
-        if floor is not None:
-            c = maximum(c, floor)
-        if has_dram[slot]:
-            t_mshr = maximum(t_mshr, s + lat) + vm_mshr_inc[slot]
-            c = maximum(c, t_mshr)
-        mem_comp[n_mem] = c
-        n_mem += 1
-        t_vmem_done = maximum(t_vmem_done, c)
-        start[i] = s
-        completion[i] = c
-        first_lat[i] = fl
-
-    t_end = maximum(maximum(t_scalar, t_arith),
-                    maximum(t_arith_done, t_vmem_done))
+    t_end = maximum(t_scalar, t_arith)
+    if n > seg0:
+        completion[seg0:n].max(axis=0, out=b_ready)
+        t_end = maximum(t_end, b_ready)
 
     # global Bandwidth Limiter floor (exact integer closed form per config)
     total = lowered.total_dram_reads + lowered.total_dram_writes
@@ -241,7 +305,7 @@ def _walk(lowered: LoweredTrace, lat: np.ndarray, den: np.ndarray,
         "cycles": cycles,
         "bw_floor": bw_floor,
         "sc_total": sc_total,
-        "vm_busy": vm_busy,
+        "vm_busy": vm_busy_m,
         "bw_win": bw_win,
         "lat": lat,
     }

@@ -20,7 +20,11 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.memory.address_space import Allocation, MemoryImage
+from repro.trace import modes
 from repro.trace.events import MLP_UNBOUNDED, Barrier, ScalarBlock, TraceBuffer
+
+_EMPTY_ADDRS = np.empty(0, dtype=np.int64)
+_EMPTY_WRITES = np.empty(0, dtype=bool)
 
 
 def interleave_streams(*streams: np.ndarray) -> np.ndarray:
@@ -67,31 +71,58 @@ class ScalarContext:
         mem_bytes: int = 8,
     ) -> None:
         """Emit one pre-computed scalar block."""
-        addrs = np.asarray(addrs, dtype=np.int64)
+        addrs = np.ascontiguousarray(addrs, dtype=np.int64)
         if isinstance(writes, (bool, np.bool_)):
             writes = np.full(addrs.shape[0], bool(writes), dtype=bool)
+        else:
+            writes = np.ascontiguousarray(writes, dtype=bool)
         self.mem.check_addresses(addrs)
-        block = ScalarBlock(
-            n_alu_ops=int(n_alu_ops),
-            mem_addrs=addrs,
-            mem_is_write=np.asarray(writes, dtype=bool),
-            mem_bytes=mem_bytes,
-            mlp_hint=mlp_hint,
-            label=label,
-        )
-        self.trace.append(block)
-        self.instret += block.n_insns
+        if modes.object_emission_enabled():
+            block = ScalarBlock(
+                n_alu_ops=int(n_alu_ops),
+                mem_addrs=addrs,
+                mem_is_write=writes,
+                mem_bytes=mem_bytes,
+                mlp_hint=mlp_hint,
+                label=label,
+            )
+            self.trace.append(block)
+        else:
+            if addrs.shape != writes.shape:
+                raise TraceError(
+                    f"block '{label}': addrs {addrs.shape} vs "
+                    f"writes {writes.shape}"
+                )
+            if n_alu_ops < 0:
+                raise TraceError(f"block '{label}': negative n_alu_ops")
+            if mlp_hint < 1:
+                raise TraceError(f"block '{label}': mlp_hint must be >= 1")
+            self.trace.emit_scalar_block(
+                addrs, writes, int(n_alu_ops), mem_bytes=mem_bytes,
+                mlp_hint=mlp_hint, label_id=self.trace.intern(label),
+            )
+        self.instret += int(n_alu_ops) + addrs.shape[0]
 
     def emit_alu(self, n_ops: int, *, label: str = "") -> None:
         """Emit a compute-only block (loop control, address arithmetic...)."""
         if n_ops <= 0:
             return
-        self.emit_block(np.empty(0, dtype=np.int64), False, n_ops, label=label)
+        if modes.object_emission_enabled():
+            self.emit_block(_EMPTY_ADDRS, False, n_ops, label=label)
+            return
+        self.trace.emit_scalar_block(
+            _EMPTY_ADDRS, _EMPTY_WRITES, int(n_ops),
+            label_id=self.trace.intern(label),
+        )
+        self.instret += int(n_ops)
 
     def barrier(self, label: str = "") -> None:
         """Record a synchronization point (flushes any interpreter state)."""
         self.flush()
-        self.trace.append(Barrier(label=label))
+        if modes.object_emission_enabled():
+            self.trace.append(Barrier(label=label))
+        else:
+            self.trace.emit_barrier(self.trace.intern(label))
 
     # ------------------------------------------------------- mini-interpreter
 

@@ -26,7 +26,16 @@ from repro.errors import IsaError
 from repro.isa.csr import CsrFile
 from repro.isa.vreg import VMask, VReg
 from repro.memory.address_space import Allocation, MemoryImage
-from repro.trace.events import TraceBuffer, VectorInstr, VMemPattern, VOpClass
+from repro.trace import modes
+from repro.trace.events import (
+    NO_ID,
+    OPCLASS_ID,
+    PATTERN_ID,
+    TraceBuffer,
+    VectorInstr,
+    VMemPattern,
+    VOpClass,
+)
 
 _FLOAT = np.float64
 _INT = np.int64
@@ -61,11 +70,32 @@ class VectorContext:
     def max_vl(self) -> int:
         return self.csr.max_vl
 
-    def _emit(self, instr: VectorInstr) -> int:
-        """Append to the trace; returns the record index (VReg.src)."""
-        self.trace.append(instr)
+    def _emit(self, op: VOpClass, vl: int, opcode: str, *,
+              pattern: VMemPattern | None = None,
+              addrs: np.ndarray | None = None, is_write: bool = False,
+              elem_bytes: int = 8, masked: bool = False,
+              active: int | None = None, dep: int = -1,
+              scalar_dest: bool = False) -> int:
+        """Append to the trace; returns the record index (VReg.src).
+
+        Default path writes the buffer columns directly (no dataclass);
+        with :func:`repro.trace.modes.object_emission` on, it builds the
+        validated :class:`VectorInstr` instead — same record either way.
+        """
         self.instret += 1
-        return len(self.trace) - 1
+        if modes.object_emission_enabled():
+            self.trace.append(VectorInstr(
+                op=op, vl=vl, opcode=opcode, pattern=pattern, addrs=addrs,
+                is_write=is_write, elem_bytes=elem_bytes, masked=masked,
+                active=active, dep=dep, scalar_dest=scalar_dest,
+            ))
+            return len(self.trace) - 1
+        return self.trace.emit_vector(
+            OPCLASS_ID[op], vl, self.trace.intern(opcode),
+            pattern_id=NO_ID if pattern is None else PATTERN_ID[pattern],
+            addrs=addrs, is_write=is_write, elem_bytes=elem_bytes,
+            masked=masked, active=active, dep=dep, scalar_dest=scalar_dest,
+        )
 
     def _require_vl(self, *regs: VReg | VMask) -> int:
         vl = self.csr.vl
@@ -101,8 +131,8 @@ class VectorContext:
         fewer architectural registers (not modeled; see docs/isa.md).
         """
         vl = self.csr.vsetvl(avl, sew, lmul)
-        self._emit(VectorInstr(op=VOpClass.CSR, vl=vl, opcode="vsetvl",
-                               scalar_dest=True))
+        self._emit(VOpClass.CSR, vl, "vsetvl",
+                               scalar_dest=True)
         return vl
 
     def write_max_vl(self, value: int) -> None:
@@ -198,11 +228,10 @@ class VectorContext:
             active = vl
         if data.dtype not in (_FLOAT, _INT, np.uint64):
             data = data.astype(_INT)
-        src = self._emit(VectorInstr(
-            op=VOpClass.MEM, vl=vl, opcode=opcode, pattern=pattern,
+        src = self._emit(
+            VOpClass.MEM, vl, opcode, pattern=pattern,
             addrs=addrs, is_write=False, elem_bytes=alloc.itemsize,
-            masked=mask is not None, active=active, dep=dep,
-        ))
+            masked=mask is not None, active=active, dep=dep)
         return VReg(np.ascontiguousarray(data), src)
 
     # ---------------------------------------------------------------- stores
@@ -250,31 +279,30 @@ class VectorContext:
                 view[idx] = value.data.astype(view.dtype)
             addrs = self._addrs(alloc, idx)
             active = vl
-        self._emit(VectorInstr(
-            op=VOpClass.MEM, vl=vl, opcode=opcode, pattern=pattern,
+        self._emit(
+            VOpClass.MEM, vl, opcode, pattern=pattern,
             addrs=addrs, is_write=True, elem_bytes=alloc.itemsize,
             masked=mask is not None, active=active,
-            dep=_dep_of(value, mask, extra_dep),
-        ))
+            dep=_dep_of(value, mask, extra_dep))
 
     # ------------------------------------------------------------ moves / id
 
     def vmv(self, value: int) -> VReg:
         """Broadcast an integer scalar (vmv.v.x)."""
         vl = self._require_vl()
-        src = self._emit(VectorInstr(op=VOpClass.ARITH, vl=vl, opcode="vmv.v.x"))
+        src = self._emit(VOpClass.ARITH, vl, "vmv.v.x")
         return VReg.from_scalar(value, vl, float_=False, src=src)
 
     def vfmv(self, value: float) -> VReg:
         """Broadcast a float scalar (vfmv.v.f)."""
         vl = self._require_vl()
-        src = self._emit(VectorInstr(op=VOpClass.ARITH, vl=vl, opcode="vfmv.v.f"))
+        src = self._emit(VOpClass.ARITH, vl, "vfmv.v.f")
         return VReg.from_scalar(value, vl, float_=True, src=src)
 
     def vid(self) -> VReg:
         """Element indices 0..vl-1 (vid.v)."""
         vl = self._require_vl()
-        src = self._emit(VectorInstr(op=VOpClass.ARITH, vl=vl, opcode="vid.v"))
+        src = self._emit(VOpClass.ARITH, vl, "vid.v")
         return VReg(np.arange(vl, dtype=_INT), src)
 
     # ------------------------------------------------------------- arithmetic
@@ -288,10 +316,10 @@ class VectorContext:
         out = fn(a.data, rhs)
         if mask is not None:
             out = np.where(mask.bits, out, a.data)
-        src = self._emit(VectorInstr(op=klass, vl=vl, opcode=opcode,
+        src = self._emit(klass, vl, opcode,
                                      masked=mask is not None,
                                      active=mask.popcount if mask else vl,
-                                     dep=_dep_of(a, b, mask)))
+                                     dep=_dep_of(a, b, mask))
         return VReg(np.ascontiguousarray(out), src)
 
     # float
@@ -325,10 +353,10 @@ class VectorContext:
         out = acc.data + a.data * rhs
         if mask is not None:
             out = np.where(mask.bits, out, acc.data)
-        src = self._emit(VectorInstr(op=VOpClass.ARITH, vl=vl, opcode="vfmacc",
+        src = self._emit(VOpClass.ARITH, vl, "vfmacc",
                                      masked=mask is not None,
                                      active=mask.popcount if mask else vl,
-                                     dep=_dep_of(acc, a, b, mask)))
+                                     dep=_dep_of(acc, a, b, mask))
         return VReg(np.ascontiguousarray(out), src)
 
     def vfneg(self, a: VReg) -> VReg:
@@ -379,8 +407,8 @@ class VectorContext:
     def _compare(self, opcode: str, a: VReg, b: VReg | float | int, fn) -> VMask:
         vl = self._require_vl(a, *([b] if isinstance(b, VReg) else []))
         rhs = self._operand(b, a)
-        src = self._emit(VectorInstr(op=VOpClass.MASK, vl=vl, opcode=opcode,
-                                     dep=_dep_of(a, b)))
+        src = self._emit(VOpClass.MASK, vl, opcode,
+                                     dep=_dep_of(a, b))
         return VMask(np.ascontiguousarray(fn(a.data, rhs)), src)
 
     def vmseq(self, a: VReg, b: VReg | int) -> VMask:
@@ -420,8 +448,8 @@ class VectorContext:
 
     def _mask_op(self, opcode: str, a: VMask, b: VMask | None, fn) -> VMask:
         vl = self._require_vl(a, *([b] if b is not None else []))
-        src = self._emit(VectorInstr(op=VOpClass.MASK, vl=vl, opcode=opcode,
-                                     dep=_dep_of(a, b)))
+        src = self._emit(VOpClass.MASK, vl, opcode,
+                                     dep=_dep_of(a, b))
         out = fn(a.bits, b.bits if b is not None else None)
         return VMask(np.ascontiguousarray(out), src)
 
@@ -444,23 +472,23 @@ class VectorContext:
     def vpopc(self, mask: VMask) -> int:
         """Population count of a mask → scalar register (syncs the core)."""
         vl = self._require_vl(mask)
-        self._emit(VectorInstr(op=VOpClass.MASK, vl=vl, opcode="vpopc",
-                               dep=_dep_of(mask), scalar_dest=True))
+        self._emit(VOpClass.MASK, vl, "vpopc",
+                               dep=_dep_of(mask), scalar_dest=True)
         return int(mask.bits.sum())
 
     def vfirst(self, mask: VMask) -> int:
         """Index of first set bit, or -1 (vfirst.m); scalar destination."""
         vl = self._require_vl(mask)
-        self._emit(VectorInstr(op=VOpClass.MASK, vl=vl, opcode="vfirst",
-                               dep=_dep_of(mask), scalar_dest=True))
+        self._emit(VOpClass.MASK, vl, "vfirst",
+                               dep=_dep_of(mask), scalar_dest=True)
         nz = np.flatnonzero(mask.bits)
         return int(nz[0]) if nz.size else -1
 
     def viota(self, mask: VMask) -> VReg:
         """Exclusive prefix-count of mask bits (viota.m)."""
         vl = self._require_vl(mask)
-        src = self._emit(VectorInstr(op=VOpClass.MASK, vl=vl, opcode="viota",
-                                     dep=_dep_of(mask)))
+        src = self._emit(VOpClass.MASK, vl, "viota",
+                                     dep=_dep_of(mask))
         counts = np.cumsum(mask.bits) - mask.bits
         return VReg(counts.astype(_INT), src)
 
@@ -473,9 +501,9 @@ class VectorContext:
         register full); use :meth:`vpopc` for the packed count.
         """
         vl = self._require_vl(src_reg, mask)
-        src = self._emit(VectorInstr(op=VOpClass.PERMUTE, vl=vl,
-                                     opcode="vcompress",
-                                     dep=_dep_of(src_reg, mask)))
+        src = self._emit(VOpClass.PERMUTE, vl,
+                                     "vcompress",
+                                     dep=_dep_of(src_reg, mask))
         out = np.zeros(vl, dtype=src_reg.data.dtype)
         packed = src_reg.data[mask.bits]
         out[: packed.shape[0]] = packed
@@ -486,9 +514,9 @@ class VectorContext:
         vl = self._require_vl(src_reg, index)
         if index.is_float:
             raise IsaError("vrgather index must be integer")
-        src = self._emit(VectorInstr(op=VOpClass.PERMUTE, vl=vl,
-                                     opcode="vrgather",
-                                     dep=_dep_of(src_reg, index)))
+        src = self._emit(VOpClass.PERMUTE, vl,
+                                     "vrgather",
+                                     dep=_dep_of(src_reg, index))
         idx = index.data
         valid = (idx >= 0) & (idx < vl)
         out = np.zeros(vl, dtype=src_reg.data.dtype)
@@ -500,9 +528,9 @@ class VectorContext:
         vl = self._require_vl(src_reg, *([fill] if fill else []))
         if n < 0:
             raise IsaError("slide amount must be >= 0")
-        src = self._emit(VectorInstr(op=VOpClass.PERMUTE, vl=vl,
-                                     opcode="vslideup",
-                                     dep=_dep_of(src_reg, fill)))
+        src = self._emit(VOpClass.PERMUTE, vl,
+                                     "vslideup",
+                                     dep=_dep_of(src_reg, fill))
         out = (fill.data.copy() if fill is not None
                else np.zeros(vl, dtype=src_reg.data.dtype))
         if n < vl:
@@ -514,9 +542,9 @@ class VectorContext:
         vl = self._require_vl(src_reg)
         if n < 0:
             raise IsaError("slide amount must be >= 0")
-        src = self._emit(VectorInstr(op=VOpClass.PERMUTE, vl=vl,
-                                     opcode="vslidedown",
-                                     dep=_dep_of(src_reg)))
+        src = self._emit(VOpClass.PERMUTE, vl,
+                                     "vslidedown",
+                                     dep=_dep_of(src_reg))
         out = np.zeros(vl, dtype=src_reg.data.dtype)
         if n < vl:
             out[: vl - n] = src_reg.data[n:]
@@ -526,8 +554,8 @@ class VectorContext:
         """out[i] = mask[i] ? a[i] : b[i] (vmerge.vvm)."""
         vl = self._require_vl(mask, a, *([b] if isinstance(b, VReg) else []))
         rhs = self._operand(b, a)
-        src = self._emit(VectorInstr(op=VOpClass.ARITH, vl=vl, opcode="vmerge",
-                                     dep=_dep_of(mask, a, b)))
+        src = self._emit(VOpClass.ARITH, vl, "vmerge",
+                                     dep=_dep_of(mask, a, b))
         return VReg(np.ascontiguousarray(np.where(mask.bits, a.data, rhs)), src)
 
     # --------------------------------------------------------------- reductions
@@ -536,10 +564,10 @@ class VectorContext:
                 mask: VMask | None = None):
         vl = self._require_vl(src_reg, *self._mask_ops(mask))
         data = src_reg.data[mask.bits] if mask is not None else src_reg.data
-        self._emit(VectorInstr(op=VOpClass.REDUCE, vl=vl, opcode=opcode,
+        self._emit(VOpClass.REDUCE, vl, opcode,
                                masked=mask is not None,
                                active=mask.popcount if mask else vl,
-                               dep=_dep_of(src_reg, mask), scalar_dest=True))
+                               dep=_dep_of(src_reg, mask), scalar_dest=True)
         if data.size == 0:
             return init
         return fn(data, init)
@@ -583,11 +611,10 @@ class VectorContext:
         view = alloc.view.reshape(-1)
         data = view[idx]
         addrs = self._addrs(alloc, idx)
-        src = self._emit(VectorInstr(
-            op=VOpClass.MEM, vl=vl, opcode=f"vlseg{nfields}e",
+        src = self._emit(
+            VOpClass.MEM, vl, f"vlseg{nfields}e",
             pattern=VMemPattern.UNIT, addrs=addrs, is_write=False,
-            elem_bytes=alloc.itemsize, active=vl * nfields,
-        ))
+            elem_bytes=alloc.itemsize, active=vl * nfields)
         fields = []
         for f in range(nfields):
             fd = np.ascontiguousarray(data[f::nfields])
@@ -611,12 +638,11 @@ class VectorContext:
             inter[f::nfields] = reg.data
         view[idx] = inter.astype(view.dtype)
         addrs = self._addrs(alloc, idx)
-        self._emit(VectorInstr(
-            op=VOpClass.MEM, vl=vl, opcode=f"vsseg{nfields}e",
+        self._emit(
+            VOpClass.MEM, vl, f"vsseg{nfields}e",
             pattern=VMemPattern.UNIT, addrs=addrs, is_write=True,
             elem_bytes=alloc.itemsize, active=vl * nfields,
-            dep=_dep_of(*values),
-        ))
+            dep=_dep_of(*values))
 
     # ------------------------------------------------------ fault-only-first
 
@@ -645,11 +671,10 @@ class VectorContext:
         if data.dtype not in (_FLOAT, _INT, np.uint64):
             data = data.astype(_INT)
         addrs = self._addrs(alloc, idx)
-        src = self._emit(VectorInstr(
-            op=VOpClass.MEM, vl=granted, opcode="vleff",
+        src = self._emit(
+            VOpClass.MEM, granted, "vleff",
             pattern=VMemPattern.UNIT, addrs=addrs, is_write=False,
-            elem_bytes=alloc.itemsize, active=granted,
-        ))
+            elem_bytes=alloc.itemsize, active=granted)
         return VReg(np.ascontiguousarray(data), src), granted
 
     # ---------------------------------------------------------- widening ops
@@ -663,14 +688,14 @@ class VectorContext:
         """
         vl = self._require_vl(a, *([b] if isinstance(b, VReg) else []))
         rhs = self._operand(b, a)
-        src = self._emit(VectorInstr(op=VOpClass.PERMUTE, vl=vl,
-                                     opcode="vwadd", dep=_dep_of(a, b)))
+        src = self._emit(VOpClass.PERMUTE, vl,
+                                     "vwadd", dep=_dep_of(a, b))
         return VReg(np.ascontiguousarray(a.data + rhs), src)
 
     def vwmul(self, a: VReg, b: VReg | int) -> VReg:
         """Widening multiply (vwmul); see :meth:`vwadd`."""
         vl = self._require_vl(a, *([b] if isinstance(b, VReg) else []))
         rhs = self._operand(b, a)
-        src = self._emit(VectorInstr(op=VOpClass.PERMUTE, vl=vl,
-                                     opcode="vwmul", dep=_dep_of(a, b)))
+        src = self._emit(VOpClass.PERMUTE, vl,
+                                     "vwmul", dep=_dep_of(a, b))
         return VReg(np.ascontiguousarray(a.data * rhs), src)

@@ -26,13 +26,33 @@ import numpy as np
 
 from repro.kernels.base import KernelOutput
 from repro.kernels.bfs.reference import default_source
+from repro.memory.address_space import Allocation
 from repro.soc.sdv import Session
+from repro.trace import modes
+from repro.trace.events import (
+    OPCLASS_ID,
+    PATTERN_ID,
+    TraceBuffer,
+    VMemPattern,
+    VOpClass,
+)
+from repro.trace.template import Dep, TraceTemplate
 from repro.workloads.graphs import CsrGraph
 
 #: scalar ops per frontier node during bucketing (load, classify, store)
 ALU_PER_BUCKETED_NODE = 6
 ALU_PER_STRIP = 6
 ALU_PER_SLOT = 2
+
+_C_CSR = OPCLASS_ID[VOpClass.CSR]
+_C_MEM = OPCLASS_ID[VOpClass.MEM]
+_C_ARITH = OPCLASS_ID[VOpClass.ARITH]
+_C_MASK = OPCLASS_ID[VOpClass.MASK]
+_C_PERM = OPCLASS_ID[VOpClass.PERMUTE]
+_P_UNIT = PATTERN_ID[VMemPattern.UNIT]
+_P_IDX = PATTERN_ID[VMemPattern.INDEXED]
+_EMPTY_A = np.empty(0, dtype=np.int64)
+_EMPTY_W = np.empty(0, dtype=bool)
 
 
 def _bucket_by_degree(frontier: np.ndarray, degs: np.ndarray) -> np.ndarray:
@@ -42,6 +62,236 @@ def _bucket_by_degree(frontier: np.ndarray, degs: np.ndarray) -> np.ndarray:
     klass[nz] = np.int64(np.floor(np.log2(degs[nz]))) + 1
     order = np.argsort(-klass, kind="stable")
     return frontier[order]
+
+
+def _expand_templated(trace: TraceBuffer, maxvl: int,
+                      a_indptr: Allocation, a_indices: Allocation,
+                      a_levels: Allocation, q_cur: Allocation,
+                      nf: int, level: int) -> None:
+    """Phase-2 frontier expansion on the templated fast path.
+
+    The slot loop's *trace structure* is uniform (every full slot stamps the
+    same 9 records), so it replicates as a template; its *functional* side
+    cannot be batched — slot ``j``'s scatters mark nodes visited before slot
+    ``j+1`` gathers their levels — so level updates walk the slots
+    sequentially while every address stream that only depends on graph
+    structure (the pipelined neighbor gathers) is precomputed vectorized.
+    """
+    it = trace.intern
+    op_vsetvl = it("vsetvl")
+    op_vle = it("vle")
+    op_vlxe = it("vlxe")
+    op_vadd = it("vadd")
+    op_vsub = it("vsub")
+    op_vmv = it("vmv.v.x")
+    op_vmsgt = it("vmsgt")
+    op_vmseq = it("vmseq")
+    op_vmand = it("vmand")
+    op_vsxe = it("vsxe")
+    lbl_strip = it("bfs-strip")
+    qv = q_cur.view.reshape(-1)
+    ipv = a_indptr.view.reshape(-1)
+    idv = a_indices.view.reshape(-1)
+    lvv = a_levels.view.reshape(-1)
+    lvl1 = level + 1
+    # unit-stride frontier loads are affine in the strip offset: one addr
+    # pass over the whole frontier, sliced per strip below
+    q_addrs = q_cur.addr(np.arange(nf, dtype=np.int64))
+    # per-node scratch for the first-occurrence scatter below (values are
+    # only read at indices freshly written within the same strip)
+    pos = np.empty(lvv.shape[0], dtype=np.int64)
+
+    off = 0
+    while off < nf:
+        vl = min(nf - off, maxvl)
+        f = qv[off: off + vl]
+        rb = ipv[f]
+        ln = ipv[f + 1] - rb
+        maxd = int(ln.max(initial=0))
+
+        trace.emit_vector(_C_CSR, vl, op_vsetvl, scalar_dest=True)
+        trace.emit_scalar_block(_EMPTY_A, _EMPTY_W, ALU_PER_STRIP,
+                                label_id=lbl_strip)
+        i_f = trace.emit_vector(
+            _C_MEM, vl, op_vle, pattern_id=_P_UNIT,
+            addrs=q_addrs[off: off + vl])
+        ipa_f = a_indptr.addr(f)
+        i_rb = trace.emit_vector(_C_MEM, vl, op_vlxe, pattern_id=_P_IDX,
+                                 addrs=ipa_f, dep=i_f)
+        i_f1 = trace.emit_vector(_C_ARITH, vl, op_vadd, dep=i_f)
+        # addr(f + 1) is addr(f) shifted one element; f + 1 <= n is always
+        # a valid indptr index so the bounds check on f covers it
+        trace.emit_vector(_C_MEM, vl, op_vlxe, pattern_id=_P_IDX,
+                          addrs=ipa_f + a_indptr.itemsize, dep=i_f1)
+        i_ln = trace.emit_vector(_C_ARITH, vl, op_vsub, dep=i_f1 + 1)
+        trace.emit_vector(_C_ARITH, vl, op_vmv)
+        if maxd == 0:
+            off += vl
+            continue
+
+        # all (slot, lane) edge indices, slot-major, lanes ascending: the
+        # concatenated per-slot index streams of the pipelined gathers
+        total = int(ln.sum())
+        lanes = np.repeat(np.arange(vl, dtype=np.int64), ln)
+        slots = (np.arange(total, dtype=np.int64)
+                 - np.repeat(np.cumsum(ln) - ln, ln))
+        order = np.argsort(slots, kind="stable")
+        eidx = (rb[lanes] + slots)[order]
+        c_slot = np.bincount(slots, minlength=maxd)
+        c_off = np.zeros(maxd + 1, dtype=np.int64)
+        np.cumsum(c_slot, out=c_off[1:])
+        nbr_flat = idv[eidx]
+
+        c0 = int(c_slot[0])
+        i_m0 = trace.emit_vector(_C_MASK, vl, op_vmsgt, dep=i_ln)
+        trace.emit_vector(_C_MEM, vl, op_vlxe, pattern_id=_P_IDX,
+                          addrs=a_indices.addr(eidx[:c0]),
+                          masked=True, active=c0, dep=i_m0)
+
+        # scatter targets of the sequential slot walk, computed at once: an
+        # occurrence scatters iff its node was unvisited at strip start AND
+        # no *earlier slot* of this strip already hit it (slot j's stores
+        # are seen by slot j+1's gathers; duplicates within one slot all
+        # scatter, the walk tests the mask before storing). A stable sort
+        # by node groups occurrences with their slot-major first hit.
+        so_flat = slots[order]
+        iu = lvv[nbr_flat] == -1
+        # first-occurrence index per node via reverse scatter: assignments
+        # apply in order, so writing descending indices leaves the minimum
+        pos[nbr_flat[::-1]] = np.arange(total - 1, -1, -1, dtype=np.int64)
+        sel = iu & (so_flat == so_flat[pos[nbr_flat]])
+        tgt_all = nbr_flat[sel]
+        lvv[tgt_all] = lvl1
+        cs = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(sel, out=cs[1:])
+        c_sc = cs[c_off[1:]] - cs[c_off[:-1]]
+        sc_off = cs[c_off]
+        sc_addrs = a_levels.addr(tgt_all)
+
+        n_full = maxd - 1
+        if n_full > 0:
+            t = TraceTemplate(trace)
+            t.scalar_block(ALU_PER_SLOT)
+            t.vector(VOpClass.MASK, vl, "vmsgt", dep=Dep.at(i_ln))
+            t.vector(VOpClass.MASK, vl, "vmsgt", dep=Dep.at(i_ln))
+            t.vector(VOpClass.ARITH, vl, "vadd", dep=Dep.at(i_rb))
+            t.vector(VOpClass.MEM, vl, "vlxe", pattern=VMemPattern.INDEXED,
+                     flat_addrs=a_indices.addr(eidx[c0:]),
+                     counts=c_slot[1:], masked=True, active=c_slot[1:],
+                     dep=Dep.local(3))
+            t.vector(VOpClass.MEM, vl, "vlxe", pattern=VMemPattern.INDEXED,
+                     flat_addrs=a_levels.addr(nbr_flat[: int(c_off[n_full])]),
+                     counts=c_slot[:n_full], masked=True,
+                     active=c_slot[:n_full], dep=Dep.local(1))
+            t.vector(VOpClass.MASK, vl, "vmseq", dep=Dep.local(5))
+            t.vector(VOpClass.MASK, vl, "vmand", dep=Dep.local(6))
+            t.vector(VOpClass.MEM, vl, "vsxe", pattern=VMemPattern.INDEXED,
+                     flat_addrs=sc_addrs[: int(sc_off[n_full])],
+                     counts=c_sc[:n_full], is_write=True, masked=True,
+                     active=c_sc[:n_full], dep=Dep.local(7))
+            t.replicate(n_full)
+
+        # last slot: no pipelined next-neighbor load
+        trace.emit_scalar_block(_EMPTY_A, _EMPTY_W, ALU_PER_SLOT)
+        i_m = trace.emit_vector(_C_MASK, vl, op_vmsgt, dep=i_ln)
+        cl = int(c_slot[n_full])
+        i_cur = trace.emit_vector(
+            _C_MEM, vl, op_vlxe, pattern_id=_P_IDX,
+            addrs=a_levels.addr(nbr_flat[c_off[n_full]:]),
+            masked=True, active=cl, dep=i_m)
+        i_unv = trace.emit_vector(_C_MASK, vl, op_vmseq, dep=i_cur)
+        i_mm = trace.emit_vector(_C_MASK, vl, op_vmand, dep=i_unv)
+        trace.emit_vector(_C_MEM, vl, op_vsxe, pattern_id=_P_IDX,
+                          addrs=sc_addrs[sc_off[n_full]:], is_write=True,
+                          masked=True, active=int(c_sc[n_full]), dep=i_mm)
+        off += vl
+
+
+def _scan_templated(trace: TraceBuffer, maxvl: int, a_levels: Allocation,
+                    q_next: Allocation, n: int, level: int) -> int:
+    """Phase-3 frontier rebuild on the fast-emit path; returns |frontier|.
+
+    Record structure is data-dependent per strip (the append triple only
+    exists when the strip matched something; the pipelined load drops out
+    on the final full strip), so strips emit through the validation-free
+    buffer calls directly rather than a template; the functional side is
+    one vectorized scan.
+    """
+    it = trace.intern
+    op_vsetvl = it("vsetvl")
+    op_vle = it("vle")
+    op_vse = it("vse")
+    op_vmseq = it("vmseq")
+    op_vid = it("vid.v")
+    op_vadd = it("vadd")
+    op_vcompress = it("vcompress")
+    op_vpopc = it("vpopc")
+    lbl_scan = it("bfs-scan")
+    lbl_tail = it("bfs-scan-tail")
+    lvv = a_levels.view.reshape(-1)
+    lvl1 = level + 1
+    n_full = (n // maxvl) * maxvl
+
+    hits = np.flatnonzero(lvv == lvl1)
+    q_next.view.reshape(-1)[: hits.shape[0]] = hits
+    cnts = np.bincount(hits // maxvl, minlength=(n + maxvl - 1) // maxvl)
+
+    # both address streams are affine in the strip offset: one addr pass
+    # over each array, sliced per strip below
+    lv_addrs = a_levels.addr(np.arange(n, dtype=np.int64))
+    qn_addrs = q_next.addr(np.arange(n, dtype=np.int64))
+
+    next_pos = 0
+    off = 0
+    if n_full:
+        trace.emit_vector(_C_CSR, maxvl, op_vsetvl, scalar_dest=True)
+        i_lv = trace.emit_vector(
+            _C_MEM, maxvl, op_vle, pattern_id=_P_UNIT,
+            addrs=lv_addrs[0: maxvl])
+        while off < n_full:
+            trace.emit_scalar_block(_EMPTY_A, _EMPTY_W, 3, label_id=lbl_scan)
+            i_m = trace.emit_vector(_C_MASK, maxvl, op_vmseq, dep=i_lv)
+            i_id = trace.emit_vector(_C_ARITH, maxvl, op_vid)
+            i_ids = trace.emit_vector(_C_ARITH, maxvl, op_vadd, dep=i_id)
+            i_packed = trace.emit_vector(_C_PERM, maxvl, op_vcompress,
+                                         dep=i_ids)
+            if off + maxvl < n_full:
+                i_lv = trace.emit_vector(
+                    _C_MEM, maxvl, op_vle, pattern_id=_P_UNIT,
+                    addrs=lv_addrs[off + maxvl: off + 2 * maxvl])
+            trace.emit_vector(_C_MASK, maxvl, op_vpopc, dep=i_m,
+                              scalar_dest=True)
+            cnt = int(cnts[off // maxvl])
+            if cnt:
+                trace.emit_vector(_C_CSR, cnt, op_vsetvl, scalar_dest=True)
+                trace.emit_vector(
+                    _C_MEM, cnt, op_vse, pattern_id=_P_UNIT,
+                    addrs=qn_addrs[next_pos: next_pos + cnt],
+                    is_write=True, dep=i_packed)
+                next_pos += cnt
+                trace.emit_vector(_C_CSR, maxvl, op_vsetvl, scalar_dest=True)
+            off += maxvl
+    if off < n:
+        tvl = n - off
+        trace.emit_vector(_C_CSR, tvl, op_vsetvl, scalar_dest=True)
+        trace.emit_scalar_block(_EMPTY_A, _EMPTY_W, 3, label_id=lbl_tail)
+        i_lv = trace.emit_vector(
+            _C_MEM, tvl, op_vle, pattern_id=_P_UNIT,
+            addrs=lv_addrs[off: n])
+        i_m = trace.emit_vector(_C_MASK, tvl, op_vmseq, dep=i_lv)
+        i_id = trace.emit_vector(_C_ARITH, tvl, op_vid)
+        i_ids = trace.emit_vector(_C_ARITH, tvl, op_vadd, dep=i_id)
+        i_packed = trace.emit_vector(_C_PERM, tvl, op_vcompress, dep=i_ids)
+        trace.emit_vector(_C_MASK, tvl, op_vpopc, dep=i_m, scalar_dest=True)
+        cnt = int(cnts[off // maxvl])
+        if cnt:
+            trace.emit_vector(_C_CSR, cnt, op_vsetvl, scalar_dest=True)
+            trace.emit_vector(
+                _C_MEM, cnt, op_vse, pattern_id=_P_UNIT,
+                addrs=qn_addrs[next_pos: next_pos + cnt],
+                is_write=True, dep=i_packed)
+            next_pos += cnt
+    return next_pos
 
 
 def bfs_vector(session: Session, g: CsrGraph,
@@ -86,6 +336,18 @@ def bfs_vector(session: Session, g: CsrGraph,
                        label=f"bfs-bucket-l{level}")
         q_cur.view[:nf] = bucketed
         scl.barrier(f"bfs-bucket-end-l{level}")
+
+        if modes.templating_enabled():
+            _expand_templated(session.trace, vec.max_vl, a_indptr, a_indices,
+                              a_levels, q_cur, nf, level)
+            scl.barrier(f"bfs-expand-end-l{level}")
+            next_pos = _scan_templated(session.trace, vec.max_vl, a_levels,
+                                       q_next, g.n, level)
+            scl.barrier(f"bfs-scan-end-l{level}")
+            frontier = q_next.view[:next_pos].copy()
+            q_cur, q_next = q_next, q_cur
+            level += 1
+            continue
 
         # --- phase 2: vector expansion ----------------------------------
         off = 0

@@ -9,6 +9,17 @@ table, and the interleaved outputs become an index-arithmetic scatter whose
 positions are computed *in vector registers* (vid/vsrl/vand/vsll/vadd) —
 the gather/scatter-heavy access pattern the paper calls out as FFT's
 challenge for vector architectures.
+
+Two emission paths produce the identical trace:
+
+* the **interpreter path** drives :class:`repro.isa.VectorContext` one
+  instruction at a time — the readable reference, selected when templating
+  is off (:mod:`repro.trace.modes`);
+* the **templated path** records each stage's strip body once symbolically
+  (:class:`repro.trace.template.TraceTemplate`) and replicates it across
+  all twiddle groups with NumPy, while the butterfly math runs whole-stage
+  vectorized. ``tests/kernels/test_trace_equality.py`` pins the two paths
+  to bit-identical traces and spectra.
 """
 
 from __future__ import annotations
@@ -18,9 +29,216 @@ import numpy as np
 from repro.kernels.base import KernelOutput
 from repro.kernels.fft.plan import make_plan
 from repro.soc.sdv import Session
+from repro.trace import modes
+from repro.trace.events import VMemPattern, VOpClass
+from repro.trace.template import Dep, TraceTemplate
 
 ALU_PER_STRIP = 4
 ALU_PER_GROUP = 3
+
+_I64 = np.int64
+
+
+def _stage_math(xre, xim, yre, yim, twr, twi, l: int, m: int) -> None:
+    """Whole-stage butterfly, elementwise-identical to the ISA path.
+
+    Every operation below is the same double-precision elementwise op the
+    per-strip vector instructions perform (vfmacc is modeled as separate
+    multiply and add), so broadcasting over all (j, k) at once is bit-exact.
+    """
+    lm = l * m
+    ar = xre[:lm].reshape(l, m)
+    ai = xim[:lm].reshape(l, m)
+    br = xre[lm:2 * lm].reshape(l, m)
+    bi = xim[lm:2 * lm].reshape(l, m)
+    wr = twr[:l][:, None]
+    wi = twi[:l][:, None]
+    tr = ar - br
+    ti = ai - bi
+    y = yre[:2 * lm].reshape(l, 2, m)
+    y[:, 0, :] = ar + br
+    y[:, 1, :] = (tr * wr) + ti * (-wi)
+    y = yim[:2 * lm].reshape(l, 2, m)
+    y[:, 0, :] = ai + bi
+    y[:, 1, :] = (tr * wi) + ti * wr
+
+
+def _strips(m: int, maxvl: int) -> list[tuple[int, int]]:
+    """(start, vl) of each strip of an m-element run at a given max VL."""
+    out = []
+    k = 0
+    while k < m:
+        vl = min(maxvl, m - k)
+        out.append((k, vl))
+        k += vl
+    return out
+
+
+def _emit_late_templated(trace, st, xre, xim, yre, yim, a_twr, a_twi,
+                         maxvl: int) -> None:
+    """One template per late stage: [twiddle block + all strips] × l groups."""
+    l, m, lm = st.l, st.m, st.half_offset
+    tpl = TraceTemplate(trace)
+    j = np.arange(l, dtype=_I64)
+    off_tw = j * 8
+    off_ld = j * (m * 8)
+    off_st = j * (2 * m * 8)
+    tpl.scalar_block(
+        ALU_PER_GROUP,
+        base_addrs=np.array([a_twr.addr(0), a_twi.addr(0)], dtype=_I64),
+        iter_offsets=off_tw, label=f"fft-twiddle-s{st.index}")
+    # addr() is affine, so one bounds-checked call per stage covers every
+    # strip; strips slice into these instead of re-deriving per strip.
+    lane_all = np.arange(m, dtype=_I64)
+    ad_ar = xre.addr(lane_all)
+    ad_ai = xim.addr(lane_all)
+    ad_br = xre.addr(lm + lane_all)
+    ad_bi = xim.addr(lm + lane_all)
+    ad_y0r = yre.addr(lane_all)
+    ad_y0i = yim.addr(lane_all)
+    ad_y1r = yre.addr(m + lane_all)
+    ad_y1i = yim.addr(m + lane_all)
+    for k, vl in _strips(m, maxvl):
+        tpl.vector(VOpClass.CSR, vl, "vsetvl", scalar_dest=True)
+        tpl.scalar_block(ALU_PER_STRIP, label="fft-strip")
+        sl = slice(k, k + vl)
+
+        def vle(addrs):
+            return tpl.vector(VOpClass.MEM, vl, "vle",
+                              pattern=VMemPattern.UNIT,
+                              base_addrs=addrs,
+                              iter_offsets=off_ld)
+
+        s_ar = vle(ad_ar[sl])
+        s_ai = vle(ad_ai[sl])
+        s_br = vle(ad_br[sl])
+        s_bi = vle(ad_bi[sl])
+        s_y0r = tpl.vector(VOpClass.ARITH, vl, "vfadd", dep=Dep.local(s_br))
+        s_y0i = tpl.vector(VOpClass.ARITH, vl, "vfadd", dep=Dep.local(s_bi))
+        s_tr = tpl.vector(VOpClass.ARITH, vl, "vfsub", dep=Dep.local(s_br))
+        s_ti = tpl.vector(VOpClass.ARITH, vl, "vfsub", dep=Dep.local(s_bi))
+        s_y1r = tpl.vector(VOpClass.ARITH, vl, "vfmul", dep=Dep.local(s_tr))
+        s_y1r = tpl.vector(VOpClass.ARITH, vl, "vfmacc",
+                           dep=Dep.local(s_y1r))
+        s_y1i = tpl.vector(VOpClass.ARITH, vl, "vfmul", dep=Dep.local(s_tr))
+        s_y1i = tpl.vector(VOpClass.ARITH, vl, "vfmacc",
+                           dep=Dep.local(s_y1i))
+
+        def vse(slot, addrs):
+            tpl.vector(VOpClass.MEM, vl, "vse", pattern=VMemPattern.UNIT,
+                       base_addrs=addrs, iter_offsets=off_st,
+                       is_write=True, dep=Dep.local(slot))
+
+        vse(s_y0r, ad_y0r[sl])
+        vse(s_y0i, ad_y0i[sl])
+        vse(s_y1r, ad_y1r[sl])
+        vse(s_y1i, ad_y1i[sl])
+    tpl.replicate(l)
+
+
+def _emit_early_templated(trace, st, xre, xim, yre, yim, a_twr, a_twi,
+                          maxvl: int) -> int:
+    """Template the full batched strips of an early stage.
+
+    Returns the first unprocessed group ``j0`` — the final partial strip
+    (``l % groups_per_strip`` groups), if any, goes through the interpreter
+    path so gcount/vl stay constant per template iteration.
+    """
+    l, m, lm = st.l, st.m, st.half_offset
+    log2m = st.log2_m
+    gps = maxvl // m
+    n_full = l // gps
+    if n_full == 0:
+        return 0
+    vl = gps * m
+    tpl = TraceTemplate(trace)
+    it = np.arange(n_full, dtype=_I64)
+    off_ld = it * (vl * 8)
+    off_tw = it * (gps * 8)
+    off_st = it * (gps * 2 * m * 8)
+    lane = np.arange(vl, dtype=_I64)
+    jpart = lane >> log2m
+    pos0 = (jpart << (log2m + 1)) + (lane & (m - 1))
+
+    tpl.vector(VOpClass.CSR, vl, "vsetvl", scalar_dest=True)
+    tpl.scalar_block(ALU_PER_STRIP, label="fft-strip-batched")
+
+    def vle(alloc, idx):
+        return tpl.vector(VOpClass.MEM, vl, "vle", pattern=VMemPattern.UNIT,
+                          base_addrs=alloc.addr(idx), iter_offsets=off_ld)
+
+    s_ar = vle(xre, lane)
+    s_ai = vle(xim, lane)
+    s_br = vle(xre, lm + lane)
+    s_bi = vle(xim, lm + lane)
+    s_vid = tpl.vector(VOpClass.ARITH, vl, "vid.v")
+    s_srl = tpl.vector(VOpClass.ARITH, vl, "vsrl", dep=Dep.local(s_vid))
+    s_jv = tpl.vector(VOpClass.ARITH, vl, "vadd", dep=Dep.local(s_srl))
+    s_wr = tpl.vector(VOpClass.MEM, vl, "vlxe", pattern=VMemPattern.INDEXED,
+                      base_addrs=a_twr.addr(jpart), iter_offsets=off_tw,
+                      dep=Dep.local(s_jv))
+    s_wi = tpl.vector(VOpClass.MEM, vl, "vlxe", pattern=VMemPattern.INDEXED,
+                      base_addrs=a_twi.addr(jpart), iter_offsets=off_tw,
+                      dep=Dep.local(s_jv))
+    s_y0r = tpl.vector(VOpClass.ARITH, vl, "vfadd", dep=Dep.local(s_br))
+    s_y0i = tpl.vector(VOpClass.ARITH, vl, "vfadd", dep=Dep.local(s_bi))
+    s_tr = tpl.vector(VOpClass.ARITH, vl, "vfsub", dep=Dep.local(s_br))
+    s_ti = tpl.vector(VOpClass.ARITH, vl, "vfsub", dep=Dep.local(s_bi))
+    s_y1r = tpl.vector(VOpClass.ARITH, vl, "vfmul", dep=Dep.local(s_tr))
+    s_neg = tpl.vector(VOpClass.ARITH, vl, "vfneg", dep=Dep.local(s_wi))
+    s_y1r = tpl.vector(VOpClass.ARITH, vl, "vfmacc", dep=Dep.local(s_neg))
+    s_y1i = tpl.vector(VOpClass.ARITH, vl, "vfmul", dep=Dep.local(s_tr))
+    s_y1i = tpl.vector(VOpClass.ARITH, vl, "vfmacc", dep=Dep.local(s_y1i))
+    s_kp = tpl.vector(VOpClass.ARITH, vl, "vand", dep=Dep.local(s_vid))
+    s_sll = tpl.vector(VOpClass.ARITH, vl, "vsll", dep=Dep.local(s_jv))
+    s_p0 = tpl.vector(VOpClass.ARITH, vl, "vadd", dep=Dep.local(s_sll))
+    s_p1 = tpl.vector(VOpClass.ARITH, vl, "vadd", dep=Dep.local(s_p0))
+
+    def vsxe(val_slot, alloc, idx, pos_slot):
+        tpl.vector(VOpClass.MEM, vl, "vsxe", pattern=VMemPattern.INDEXED,
+                   base_addrs=alloc.addr(idx), iter_offsets=off_st,
+                   is_write=True, dep=Dep.local(pos_slot))
+
+    vsxe(s_y0r, yre, pos0, s_p0)
+    vsxe(s_y0i, yim, pos0, s_p0)
+    vsxe(s_y1r, yre, pos0 + m, s_p1)
+    vsxe(s_y1i, yim, pos0 + m, s_p1)
+    tpl.replicate(n_full)
+    return n_full * gps
+
+
+def _early_strip_ctx(scl, vec, st, xre, xim, yre, yim, a_twr, a_twi,
+                     j0: int, gcount: int) -> None:
+    """One batched early-stage strip through the interpreter path."""
+    l, m, lm = st.l, st.m, st.half_offset
+    log2m = st.log2_m
+    vec.vsetvl(gcount * m)
+    scl.emit_alu(ALU_PER_STRIP, label="fft-strip-batched")
+    base = j0 * m
+    ar = vec.vle(xre, base)
+    ai = vec.vle(xim, base)
+    br = vec.vle(xre, base + lm)
+    bi = vec.vle(xim, base + lm)
+    idx = vec.vid()
+    jvec = vec.vadd(vec.vsrl(idx, log2m), j0)
+    wr = vec.vlxe(a_twr, jvec)
+    wi = vec.vlxe(a_twi, jvec)
+    y0r = vec.vfadd(ar, br)
+    y0i = vec.vfadd(ai, bi)
+    tr = vec.vfsub(ar, br)
+    ti = vec.vfsub(ai, bi)
+    y1r = vec.vfmul(tr, wr)
+    negwi = vec.vfneg(wi)
+    y1r = vec.vfmacc(y1r, ti, negwi)
+    y1i = vec.vfmul(tr, wi)
+    y1i = vec.vfmacc(y1i, ti, wr)
+    kpart = vec.vand(idx, m - 1)
+    pos0 = vec.vadd(vec.vsll(jvec, log2m + 1), kpart)
+    pos1 = vec.vadd(pos0, m)
+    vec.vsxe(y0r, yre, pos0)
+    vec.vsxe(y0i, yim, pos0)
+    vec.vsxe(y1r, yre, pos1)
+    vec.vsxe(y1i, yim, pos1)
 
 
 def fft_vector(session: Session, signal: tuple[np.ndarray, np.ndarray]
@@ -41,6 +259,7 @@ def fft_vector(session: Session, signal: tuple[np.ndarray, np.ndarray]
     cur = (a_xre, a_xim)
     nxt = (a_yre, a_yim)
     maxvl = vec.max_vl
+    templated = modes.templating_enabled()
 
     for st in plan.stages:
         l, m, lm = st.l, st.m, st.half_offset
@@ -48,7 +267,19 @@ def fft_vector(session: Session, signal: tuple[np.ndarray, np.ndarray]
         yre, yim = nxt
         a_twr, a_twi = tw_re[st.index], tw_im[st.index]
 
-        if m >= maxvl:
+        if templated:
+            _stage_math(xre.view, xim.view, yre.view, yim.view,
+                        a_twr.view, a_twi.view, l, m)
+            if m >= maxvl:
+                _emit_late_templated(session.trace, st, xre, xim, yre, yim,
+                                     a_twr, a_twi, maxvl)
+            else:
+                j0 = _emit_early_templated(session.trace, st, xre, xim,
+                                           yre, yim, a_twr, a_twi, maxvl)
+                if j0 < l:
+                    _early_strip_ctx(scl, vec, st, xre, xim, yre, yim,
+                                     a_twr, a_twi, j0, l - j0)
+        elif m >= maxvl:
             # ---- late stages: unit stride, scalar twiddle per group ------
             for j in range(l):
                 wr = scl.load_f64(a_twr, j)
@@ -82,37 +313,11 @@ def fft_vector(session: Session, signal: tuple[np.ndarray, np.ndarray]
             # ---- early stages: batch VL/m groups, gather twiddles,
             # ---- index-arithmetic scatter --------------------------------
             groups_per_strip = maxvl // m
-            log2m = st.log2_m
             j0 = 0
             while j0 < l:
                 gcount = min(groups_per_strip, l - j0)
-                vec.vsetvl(gcount * m)
-                scl.emit_alu(ALU_PER_STRIP, label="fft-strip-batched")
-                base = j0 * m
-                ar = vec.vle(xre, base)
-                ai = vec.vle(xim, base)
-                br = vec.vle(xre, base + lm)
-                bi = vec.vle(xim, base + lm)
-                idx = vec.vid()
-                jvec = vec.vadd(vec.vsrl(idx, log2m), j0)
-                wr = vec.vlxe(a_twr, jvec)
-                wi = vec.vlxe(a_twi, jvec)
-                y0r = vec.vfadd(ar, br)
-                y0i = vec.vfadd(ai, bi)
-                tr = vec.vfsub(ar, br)
-                ti = vec.vfsub(ai, bi)
-                y1r = vec.vfmul(tr, wr)
-                negwi = vec.vfneg(wi)
-                y1r = vec.vfmacc(y1r, ti, negwi)
-                y1i = vec.vfmul(tr, wi)
-                y1i = vec.vfmacc(y1i, ti, wr)
-                kpart = vec.vand(idx, m - 1)
-                pos0 = vec.vadd(vec.vsll(jvec, log2m + 1), kpart)
-                pos1 = vec.vadd(pos0, m)
-                vec.vsxe(y0r, yre, pos0)
-                vec.vsxe(y0i, yim, pos0)
-                vec.vsxe(y1r, yre, pos1)
-                vec.vsxe(y1i, yim, pos1)
+                _early_strip_ctx(scl, vec, st, xre, xim, yre, yim,
+                                 a_twr, a_twi, j0, gcount)
                 j0 += gcount
 
         scl.barrier(f"fft-stage-{st.index}")

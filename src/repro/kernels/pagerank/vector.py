@@ -23,6 +23,9 @@ import scipy.sparse as sp
 from repro.kernels.base import KernelOutput
 from repro.kernels.spmv.formats import build_sell
 from repro.soc.sdv import Session
+from repro.trace import modes
+from repro.trace.events import OPCLASS_ID, PATTERN_ID, VMemPattern, VOpClass
+from repro.trace.template import Dep, TraceTemplate
 from repro.workloads.graphs import CsrGraph
 
 ALU_PER_CHUNK = 6
@@ -31,6 +34,234 @@ ALU_PER_STRIP = 3
 
 #: sigma window for the SELL conversion of the transpose adjacency
 SIGMA = 4096
+
+_I64 = np.int64
+_EMPTY_A = np.empty(0, dtype=np.int64)
+_EMPTY_W = np.empty(0, dtype=bool)
+
+
+def _pr_iteration_templated(session: Session, sell, allocs, n: int,
+                            damping: float) -> None:
+    """One templated PR iteration: identical trace + memory effects.
+
+    Each pass's strip/slot body is recorded once and replicated; the
+    functional math runs on whole arrays with the same elementwise
+    operation sequence as the interpreter path (division, multiply-then-add
+    for vfmacc, per-slot accumulate order), so results are bit-identical.
+    """
+    trace = session.trace
+    scl = session.scalar
+    a_cols, a_slot_off, a_perm, a_safedeg, a_dang, a_r, a_rnorm, a_y = allocs
+    maxvl = session.vector.max_vl
+    chunk = maxvl
+
+    csr_id = OPCLASS_ID[VOpClass.CSR]
+    arith_id = OPCLASS_ID[VOpClass.ARITH]
+    heavy_id = OPCLASS_ID[VOpClass.ARITH_HEAVY]
+    reduce_id = OPCLASS_ID[VOpClass.REDUCE]
+    mem_id = OPCLASS_ID[VOpClass.MEM]
+    unit_id = PATTERN_ID[VMemPattern.UNIT]
+    idx_id = PATTERN_ID[VMemPattern.INDEXED]
+    op_vsetvl = trace.intern("vsetvl")
+    op_vfmv = trace.intern("vfmv.v.f")
+    op_vle = trace.intern("vle")
+    op_vse = trace.intern("vse")
+    op_vlxe = trace.intern("vlxe")
+    op_vsxe = trace.intern("vsxe")
+    op_vfdiv = trace.intern("vfdiv")
+    op_vfmul = trace.intern("vfmul")
+    op_vfadd = trace.intern("vfadd")
+    op_vfmacc = trace.intern("vfmacc")
+    op_vfredsum = trace.intern("vfredsum")
+    lbl_tail = trace.intern("pr-norm-tail")
+    lbl_chunk = trace.intern("pr-chunk")
+    lbl_ptrs = trace.intern("pr-slot-ptrs")
+    lbl_damp = trace.intern("pr-damp")
+
+    rv = a_r.view
+    rnv = a_rnorm.view
+    yv = a_y.view
+    dgv = a_safedeg.view
+    ddv = a_dang.view
+
+    # --- normalize pass ---------------------------------------------------
+    np.divide(rv, dgv, out=rnv)
+    dmass_parts: list[float] = []
+    n_full = (n // maxvl) * maxvl
+    n_strips = n // maxvl
+    if n_full:
+        trace.emit_vector(csr_id, maxvl, op_vsetvl, scalar_dest=True)
+        trace.emit_vector(arith_id, maxvl, op_vfmv)
+        lane8 = np.arange(maxvl, dtype=_I64)
+        offs = np.arange(n_strips, dtype=_I64) * (maxvl * 8)
+        tpl = TraceTemplate(trace)
+        tpl.scalar_block(ALU_PER_STRIP, label="pr-norm")
+        s_r = tpl.vector(VOpClass.MEM, maxvl, "vle",
+                         pattern=VMemPattern.UNIT,
+                         base_addrs=a_r.addr(lane8), iter_offsets=offs)
+        s_dg = tpl.vector(VOpClass.MEM, maxvl, "vle",
+                          pattern=VMemPattern.UNIT,
+                          base_addrs=a_safedeg.addr(lane8),
+                          iter_offsets=offs)
+        s_rn = tpl.vector(VOpClass.ARITH_HEAVY, maxvl, "vfdiv",
+                          dep=Dep.local(s_dg))
+        tpl.vector(VOpClass.MEM, maxvl, "vse", pattern=VMemPattern.UNIT,
+                   base_addrs=a_rnorm.addr(lane8), iter_offsets=offs,
+                   is_write=True, dep=Dep.local(s_rn))
+        s_dd = tpl.vector(VOpClass.MEM, maxvl, "vle",
+                          pattern=VMemPattern.UNIT,
+                          base_addrs=a_dang.addr(lane8), iter_offsets=offs)
+        s_acc = tpl.vector(VOpClass.ARITH, maxvl, "vfmacc",
+                           dep=Dep.local(s_dd))
+        tstart = tpl.replicate(n_strips)
+        trace.emit_vector(reduce_id, maxvl, op_vfredsum,
+                          dep=tstart + (n_strips - 1) * 7 + s_acc,
+                          scalar_dest=True)
+        # the strip-order lane accumulate: every product is >= +0.0 (ranks
+        # and the 0/1 dangling stream are non-negative), so strips with no
+        # dangling node add exactly +0.0 — an identity on the non-negative
+        # accumulator — and only the (few) strips containing dangling nodes
+        # need to join the sequential per-lane vfmacc chain
+        prods = (rv[:n_full] * ddv[:n_full]).reshape(n_strips, maxvl)
+        dacc = np.zeros(maxvl, dtype=np.float64)
+        for s in np.flatnonzero(
+                ddv[:n_full].reshape(n_strips, maxvl).any(axis=1)).tolist():
+            dacc += prods[s]
+        dmass_parts.append(float(dacc.sum() + 0.0))
+    if n_full < n:
+        vl_t = n - n_full
+        lane_t = np.arange(n_full, n, dtype=_I64)
+        trace.emit_vector(csr_id, vl_t, op_vsetvl, scalar_dest=True)
+        trace.emit_scalar_block(_EMPTY_A, _EMPTY_W, ALU_PER_STRIP,
+                                label_id=lbl_tail)
+        r_idx = trace.emit_vector(mem_id, vl_t, op_vle, pattern_id=unit_id,
+                                  addrs=a_r.addr(lane_t))
+        dg_idx = trace.emit_vector(mem_id, vl_t, op_vle, pattern_id=unit_id,
+                                   addrs=a_safedeg.addr(lane_t))
+        rn_idx = trace.emit_vector(heavy_id, vl_t, op_vfdiv, dep=dg_idx)
+        trace.emit_vector(mem_id, vl_t, op_vse, pattern_id=unit_id,
+                          addrs=a_rnorm.addr(lane_t), is_write=True,
+                          dep=rn_idx)
+        dd_idx = trace.emit_vector(mem_id, vl_t, op_vle, pattern_id=unit_id,
+                                   addrs=a_dang.addr(lane_t))
+        mul_idx = trace.emit_vector(arith_id, vl_t, op_vfmul, dep=dd_idx)
+        trace.emit_vector(reduce_id, vl_t, op_vfredsum, dep=mul_idx,
+                          scalar_dest=True)
+        dmass_parts.append(float((rv[n_full:] * ddv[n_full:]).sum() + 0.0))
+    dmass = sum(dmass_parts) / n
+    scl.barrier("pr-normalize-end")
+
+    # --- accumulate pass (pattern-only compact SELL sweep) ----------------
+    slot_off = sell.slot_off
+    for c in range(sell.n_chunks):
+        base_row = c * chunk
+        rows_here = min(chunk, n - base_row)
+        bs = int(sell.chunk_slot[c])
+        width = int(sell.widths[c])
+        sl0 = int(slot_off[bs])
+        sl_end = int(slot_off[bs + width])
+        cnts = np.diff(slot_off[bs:bs + width + 1])
+        seg = rnv[sell.cols[sl0:sl_end]]
+        acc = np.zeros(rows_here, dtype=np.float64)
+        o = 0
+        for j in range(width):
+            cnt = int(cnts[j])
+            acc[:cnt] += seg[o:o + cnt]
+            o += cnt
+        pi = sell.perm[base_row:base_row + rows_here]
+        yv[pi] = acc
+
+        trace.emit_vector(csr_id, rows_here, op_vsetvl, scalar_dest=True)
+        trace.emit_scalar_block(_EMPTY_A, _EMPTY_W, ALU_PER_CHUNK,
+                                label_id=lbl_chunk)
+        trace.emit_vector(arith_id, rows_here, op_vfmv)
+        if width > 0:
+            trace.emit_scalar_block(
+                a_slot_off.addr(np.arange(bs, bs + width + 1, dtype=_I64)),
+                np.zeros(width + 1, dtype=bool), 2 * width,
+                label_id=lbl_ptrs)
+            cnt0 = int(cnts[0])
+            trace.emit_vector(csr_id, cnt0, op_vsetvl, scalar_dest=True)
+            cols_idx = trace.emit_vector(
+                mem_id, cnt0, op_vle, pattern_id=unit_id,
+                addrs=a_cols.addr(np.arange(sl0, sl0 + cnt0, dtype=_I64)))
+        if width >= 2:
+            nxt_cnts = cnts[1:].astype(np.int32)
+            cur_cnts = cnts[:-1].astype(np.int32)
+            cur_hi = int(slot_off[bs + width - 1])
+            tpl = TraceTemplate(trace)
+            tpl.scalar_block(ALU_PER_SLOT)
+            tpl.vector(VOpClass.CSR, nxt_cnts, "vsetvl", scalar_dest=True)
+            s_cols = tpl.vector(
+                VOpClass.MEM, nxt_cnts, "vle", pattern=VMemPattern.UNIT,
+                flat_addrs=a_cols.addr(
+                    np.arange(int(slot_off[bs + 1]), sl_end, dtype=_I64)),
+                counts=nxt_cnts)
+            tpl.vector(VOpClass.CSR, cur_cnts, "vsetvl", scalar_dest=True)
+            s_g = tpl.vector(VOpClass.MEM, cur_cnts, "vlxe",
+                             pattern=VMemPattern.INDEXED,
+                             flat_addrs=a_rnorm.addr(
+                                 sell.cols[sl0:cur_hi]),
+                             counts=cur_cnts,
+                             dep=Dep.prev(s_cols, first=cols_idx))
+            tpl.vector(VOpClass.ARITH, cur_cnts, "vfadd", dep=Dep.local(s_g))
+            tstart = tpl.replicate(width - 1)
+            last_cols_idx = tstart + (width - 2) * 6 + s_cols
+        elif width == 1:
+            last_cols_idx = cols_idx
+        if width > 0:
+            cnt_l = int(cnts[-1])
+            lo = int(slot_off[bs + width - 1])
+            trace.emit_scalar_block(_EMPTY_A, _EMPTY_W, ALU_PER_SLOT)
+            trace.emit_vector(csr_id, cnt_l, op_vsetvl, scalar_dest=True)
+            g_idx = trace.emit_vector(
+                mem_id, cnt_l, op_vlxe, pattern_id=idx_id,
+                addrs=a_rnorm.addr(sell.cols[lo:lo + cnt_l]),
+                dep=last_cols_idx)
+            trace.emit_vector(arith_id, cnt_l, op_vfadd, dep=g_idx)
+        trace.emit_vector(csr_id, rows_here, op_vsetvl, scalar_dest=True)
+        pi_idx = trace.emit_vector(
+            mem_id, rows_here, op_vle, pattern_id=unit_id,
+            addrs=a_perm.addr(
+                np.arange(base_row, base_row + rows_here, dtype=_I64)))
+        trace.emit_vector(mem_id, rows_here, op_vsxe, pattern_id=idx_id,
+                          addrs=a_y.addr(pi), is_write=True, dep=pi_idx)
+    scl.barrier("pr-accumulate-end")
+
+    # --- damping pass -----------------------------------------------------
+    base = (1.0 - damping) / n
+    t = (yv + dmass) * damping
+    np.add(t, base, out=rv)
+    if n_strips:
+        lane8 = np.arange(maxvl, dtype=_I64)
+        offs = np.arange(n_strips, dtype=_I64) * (maxvl * 8)
+        tpl = TraceTemplate(trace)
+        tpl.vector(VOpClass.CSR, maxvl, "vsetvl", scalar_dest=True)
+        tpl.scalar_block(ALU_PER_STRIP, label="pr-damp")
+        s_y = tpl.vector(VOpClass.MEM, maxvl, "vle",
+                         pattern=VMemPattern.UNIT,
+                         base_addrs=a_y.addr(lane8), iter_offsets=offs)
+        s_t = tpl.vector(VOpClass.ARITH, maxvl, "vfadd", dep=Dep.local(s_y))
+        s_t = tpl.vector(VOpClass.ARITH, maxvl, "vfmul", dep=Dep.local(s_t))
+        s_t = tpl.vector(VOpClass.ARITH, maxvl, "vfadd", dep=Dep.local(s_t))
+        tpl.vector(VOpClass.MEM, maxvl, "vse", pattern=VMemPattern.UNIT,
+                   base_addrs=a_r.addr(lane8), iter_offsets=offs,
+                   is_write=True, dep=Dep.local(s_t))
+        tpl.replicate(n_strips)
+    if n_full < n:
+        vl_t = n - n_full
+        lane_t = np.arange(n_full, n, dtype=_I64)
+        trace.emit_vector(csr_id, vl_t, op_vsetvl, scalar_dest=True)
+        trace.emit_scalar_block(_EMPTY_A, _EMPTY_W, ALU_PER_STRIP,
+                                label_id=lbl_damp)
+        y_idx = trace.emit_vector(mem_id, vl_t, op_vle, pattern_id=unit_id,
+                                  addrs=a_y.addr(lane_t))
+        t_idx = trace.emit_vector(arith_id, vl_t, op_vfadd, dep=y_idx)
+        t_idx = trace.emit_vector(arith_id, vl_t, op_vfmul, dep=t_idx)
+        t_idx = trace.emit_vector(arith_id, vl_t, op_vfadd, dep=t_idx)
+        trace.emit_vector(mem_id, vl_t, op_vse, pattern_id=unit_id,
+                          addrs=a_r.addr(lane_t), is_write=True, dep=t_idx)
+    scl.barrier("pr-iter-end")
 
 
 def pagerank_vector(session: Session, g: CsrGraph, *, iters: int,
@@ -57,6 +288,17 @@ def pagerank_vector(session: Session, g: CsrGraph, *, iters: int,
     a_r = mem.alloc("pr.r", np.full(n, 1.0 / n))
     a_rnorm = mem.alloc("pr.rnorm", n, np.float64)
     a_y = mem.alloc("pr.y", n, np.float64)
+
+    if modes.templating_enabled():
+        allocs = (a_cols, a_slot_off, a_perm, a_safedeg, a_dang,
+                  a_r, a_rnorm, a_y)
+        for _ in range(iters):
+            _pr_iteration_templated(session, sell, allocs, n, damping)
+        return KernelOutput(
+            value=a_r.view.copy(),
+            meta={"iters": iters, "n": n, "m": int(g.t_indices.shape[0]),
+                  "padding_overhead": sell.padding_overhead},
+        )
 
     for _ in range(iters):
         # --- normalize pass ----------------------------------------------

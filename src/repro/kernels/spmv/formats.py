@@ -103,9 +103,9 @@ def build_sell(mat: sp.csr_matrix, chunk: int, sigma: int | None = None,
 
     rowlen = lens[perm]
     n_chunks = -(-n // chunk)
-    widths = np.zeros(n_chunks, dtype=np.int64)
-    for c in range(n_chunks):
-        widths[c] = rowlen[c * chunk: (c + 1) * chunk].max(initial=0)
+    padded = np.zeros(n_chunks * chunk, dtype=np.int64)
+    padded[:n] = rowlen
+    widths = padded.reshape(n_chunks, chunk).max(axis=1)
 
     data = np.asarray(mat.data, dtype=np.float64)
     indices = np.asarray(mat.indices, dtype=np.int64)
@@ -115,31 +115,35 @@ def build_sell(mat: sp.csr_matrix, chunk: int, sigma: int | None = None,
 
     if compact:
         total_slots = int(widths.sum())
+        # per-slot active counts via a difference array: each row adds one
+        # lane to slots [chunk_slot[c], chunk_slot[c] + rowlen) of its
+        # chunk; rowlen <= width keeps every run inside its chunk, so one
+        # global cumsum recovers all counts at once
+        row_start = chunk_slot[np.arange(n, dtype=np.int64) // chunk]
+        delta = np.zeros(total_slots + 1, dtype=np.int64)
+        np.add.at(delta, row_start, 1)
+        np.add.at(delta, row_start + rowlen, -1)
         slot_off = np.zeros(total_slots + 1, dtype=np.int64)
-        chunk_ptr = np.zeros(n_chunks + 1, dtype=np.int64)
-        # first pass: per-slot active counts
-        k = 0
-        for c in range(n_chunks):
-            seg = rowlen[c * chunk: (c + 1) * chunk]
-            for j in range(int(widths[c])):
-                slot_off[k + 1] = slot_off[k] + int((seg > j).sum())
-                k += 1
-            chunk_ptr[c + 1] = slot_off[k]
+        np.cumsum(np.cumsum(delta[:-1]), out=slot_off[1:])
+        chunk_ptr = slot_off[chunk_slot]
         vals = np.zeros(slot_off[-1], dtype=np.float64)
         cols = np.zeros(slot_off[-1], dtype=np.int64)
-        # second pass: scatter row elements into their slot prefixes
-        for c in range(n_chunks):
-            base_slot = int(chunk_slot[c])
-            for lane in range(chunk):
-                r = c * chunk + lane
-                if r >= n:
-                    break
-                src0 = indptr[perm[r]]
-                ln = int(rowlen[r])
-                # element j of row r is lane-th entry of slot base_slot+j
-                dst = slot_off[base_slot: base_slot + ln] + lane
-                vals[dst] = data[src0: src0 + ln]
-                cols[dst] = indices[src0: src0 + ln]
+        # scatter row elements into their slot prefixes, all rows at once:
+        # element j of row r is the (r % chunk)-th entry of slot
+        # chunk_slot[r // chunk] + j — rows are sorted descending inside a
+        # chunk, so active lanes form a prefix and the chunk lane is the
+        # slot lane
+        nnz_total = int(rowlen.sum())
+        if nnz_total:
+            rows_rep = np.repeat(np.arange(n, dtype=np.int64), rowlen)
+            elem_start = np.zeros(n, dtype=np.int64)
+            np.cumsum(rowlen[:-1], out=elem_start[1:])
+            j_idx = np.arange(nnz_total, dtype=np.int64) \
+                - np.repeat(elem_start, rowlen)
+            dst = slot_off[row_start[rows_rep] + j_idx] + rows_rep % chunk
+            src = np.repeat(indptr[perm], rowlen) + j_idx
+            vals[dst] = data[src]
+            cols[dst] = indices[src]
     else:
         chunk_ptr = np.zeros(n_chunks + 1, dtype=np.int64)
         np.cumsum(widths * chunk, out=chunk_ptr[1:])

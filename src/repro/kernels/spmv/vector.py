@@ -31,6 +31,9 @@ import scipy.sparse as sp
 from repro.kernels.base import KernelOutput
 from repro.kernels.spmv.formats import build_sell
 from repro.soc.sdv import Session
+from repro.trace import modes
+from repro.trace.events import OPCLASS_ID, PATTERN_ID, VMemPattern, VOpClass
+from repro.trace.template import Dep, TraceTemplate
 
 #: scalar loop-control ops per chunk and per slot (pointer bumps, branches)
 ALU_PER_CHUNK = 6
@@ -38,6 +41,134 @@ ALU_PER_SLOT = 2
 
 #: default sigma window (rows) for the SELL conversion
 DEFAULT_SIGMA = 4096
+
+_I64 = np.int64
+_EMPTY_A = np.empty(0, dtype=np.int64)
+_EMPTY_W = np.empty(0, dtype=bool)
+
+
+def _spmv_templated(session: Session, sell, a, n: int) -> None:
+    """Templated emission + whole-chunk functional math (compact layout).
+
+    Per chunk, the software-pipelined slot loop body (7 records) is
+    recorded once and replicated over slots 0..width-2; the prologue, the
+    non-pipelined last slot and the scatter epilogue are emitted directly
+    into the columnar buffer. The accumulator math runs per-slot on NumPy
+    slices — the same elementwise multiply/add sequence the interpreter
+    path performs, so traces and y are bit-identical.
+    """
+    trace = session.trace
+    a_vals, a_cols, a_slot_off, a_perm, a_x, a_y = a
+    xv = a_x.view
+    yv = a_y.view
+    chunk = session.vector.max_vl
+
+    csr_id = OPCLASS_ID[VOpClass.CSR]
+    arith_id = OPCLASS_ID[VOpClass.ARITH]
+    mem_id = OPCLASS_ID[VOpClass.MEM]
+    unit_id = PATTERN_ID[VMemPattern.UNIT]
+    idx_id = PATTERN_ID[VMemPattern.INDEXED]
+    op_vsetvl = trace.intern("vsetvl")
+    op_vfmv = trace.intern("vfmv.v.f")
+    op_vle = trace.intern("vle")
+    op_vlxe = trace.intern("vlxe")
+    op_vfmacc = trace.intern("vfmacc")
+    op_vsxe = trace.intern("vsxe")
+    lbl_chunk = trace.intern("spmv-chunk")
+    lbl_ptrs = trace.intern("spmv-slot-ptrs")
+
+    slot_off = sell.slot_off
+    for c in range(sell.n_chunks):
+        base_row = c * chunk
+        rows_here = min(chunk, n - base_row)
+        bs = int(sell.chunk_slot[c])
+        width = int(sell.widths[c])
+
+        # ---- functional: the whole chunk's accumulate + scatter ----------
+        sl0 = int(slot_off[bs])
+        cnts = np.diff(slot_off[bs:bs + width + 1])
+        seg_cols = sell.cols[sl0:int(slot_off[bs + width])]
+        prod = sell.vals[sl0:int(slot_off[bs + width])] * xv[seg_cols]
+        acc = np.zeros(rows_here, dtype=np.float64)
+        o = 0
+        for j in range(width):
+            cnt = int(cnts[j])
+            acc[:cnt] += prod[o:o + cnt]
+            o += cnt
+        pi = sell.perm[base_row:base_row + rows_here]
+        yv[pi] = acc
+
+        # ---- trace: prologue ---------------------------------------------
+        trace.emit_vector(csr_id, rows_here, op_vsetvl, scalar_dest=True)
+        trace.emit_scalar_block(_EMPTY_A, _EMPTY_W, ALU_PER_CHUNK,
+                                label_id=lbl_chunk)
+        trace.emit_vector(arith_id, rows_here, op_vfmv)
+        if width > 0:
+            trace.emit_scalar_block(
+                a_slot_off.addr(np.arange(bs, bs + width + 1, dtype=_I64)),
+                np.zeros(width + 1, dtype=bool), 2 * width,
+                label_id=lbl_ptrs)
+            cnt0 = int(cnts[0])
+            trace.emit_vector(csr_id, cnt0, op_vsetvl, scalar_dest=True)
+            cols_idx = trace.emit_vector(
+                mem_id, cnt0, op_vle, pattern_id=unit_id,
+                addrs=a_cols.addr(np.arange(sl0, sl0 + cnt0, dtype=_I64)))
+            trace.emit_vector(
+                mem_id, cnt0, op_vle, pattern_id=unit_id,
+                addrs=a_vals.addr(np.arange(sl0, sl0 + cnt0, dtype=_I64)))
+
+        # ---- trace: pipelined slot loop (slots 0..width-2) ---------------
+        if width >= 2:
+            nxt_cnts = cnts[1:].astype(np.int32)
+            cur_cnts = cnts[:-1].astype(np.int32)
+            nxt_lo = int(slot_off[bs + 1])
+            nxt_hi = int(slot_off[bs + width])
+            nxt_rng = np.arange(nxt_lo, nxt_hi, dtype=_I64)
+            cur_hi = int(slot_off[bs + width - 1])
+            tpl = TraceTemplate(trace)
+            tpl.scalar_block(ALU_PER_SLOT)
+            tpl.vector(VOpClass.CSR, nxt_cnts, "vsetvl", scalar_dest=True)
+            s_cols = tpl.vector(VOpClass.MEM, nxt_cnts, "vle",
+                                pattern=VMemPattern.UNIT,
+                                flat_addrs=a_cols.addr(nxt_rng),
+                                counts=nxt_cnts)
+            tpl.vector(VOpClass.MEM, nxt_cnts, "vle",
+                       pattern=VMemPattern.UNIT,
+                       flat_addrs=a_vals.addr(nxt_rng), counts=nxt_cnts)
+            tpl.vector(VOpClass.CSR, cur_cnts, "vsetvl", scalar_dest=True)
+            s_xg = tpl.vector(VOpClass.MEM, cur_cnts, "vlxe",
+                              pattern=VMemPattern.INDEXED,
+                              flat_addrs=a_x.addr(
+                                  sell.cols[sl0:cur_hi]),
+                              counts=cur_cnts,
+                              dep=Dep.prev(s_cols, first=cols_idx))
+            tpl.vector(VOpClass.ARITH, cur_cnts, "vfmacc",
+                       dep=Dep.local(s_xg))
+            tstart = tpl.replicate(width - 1)
+            last_cols_idx = tstart + (width - 2) * 7 + s_cols
+        elif width == 1:
+            last_cols_idx = cols_idx
+
+        # ---- trace: last slot (nothing left to prefetch) -----------------
+        if width > 0:
+            cnt_l = int(cnts[-1])
+            lo = int(slot_off[bs + width - 1])
+            trace.emit_scalar_block(_EMPTY_A, _EMPTY_W, ALU_PER_SLOT)
+            trace.emit_vector(csr_id, cnt_l, op_vsetvl, scalar_dest=True)
+            xg_idx = trace.emit_vector(
+                mem_id, cnt_l, op_vlxe, pattern_id=idx_id,
+                addrs=a_x.addr(sell.cols[lo:lo + cnt_l]),
+                dep=last_cols_idx)
+            trace.emit_vector(arith_id, cnt_l, op_vfmacc, dep=xg_idx)
+
+        # ---- trace: scatter epilogue -------------------------------------
+        trace.emit_vector(csr_id, rows_here, op_vsetvl, scalar_dest=True)
+        pi_idx = trace.emit_vector(
+            mem_id, rows_here, op_vle, pattern_id=unit_id,
+            addrs=a_perm.addr(
+                np.arange(base_row, base_row + rows_here, dtype=_I64)))
+        trace.emit_vector(mem_id, rows_here, op_vsxe, pattern_id=idx_id,
+                          addrs=a_y.addr(pi), is_write=True, dep=pi_idx)
 
 
 def spmv_vector(session: Session, mat: sp.csr_matrix,
@@ -63,6 +194,21 @@ def spmv_vector(session: Session, mat: sp.csr_matrix,
     a_perm = mem.alloc("spmv.perm", sell.perm)
     a_x = mem.alloc("spmv.x", x)
     a_y = mem.alloc("spmv.y", n, np.float64)
+
+    if compact and modes.templating_enabled():
+        _spmv_templated(session, sell,
+                        (a_vals, a_cols, a_slot_off, a_perm, a_x, a_y), n)
+        scl.barrier("spmv-vector-end")
+        return KernelOutput(
+            value=a_y.view.copy(),
+            meta={
+                "nnz": sell.nnz,
+                "n": n,
+                "chunk": chunk,
+                "sigma": sell.sigma,
+                "padding_overhead": sell.padding_overhead,
+            },
+        )
 
     for c in range(sell.n_chunks):
         base_row = c * chunk

@@ -49,8 +49,20 @@ class Allocation:
         Bounds are checked against the allocation so a buggy kernel fails
         loudly instead of recording addresses into a neighbouring array.
         """
-        idx = np.asarray(index)
         nelem = self.nbytes // self.itemsize
+        if type(index) is np.ndarray and index.ndim == 1:
+            # hot path: trace emitters call this once per address vector
+            if index.size:
+                lo, hi = index.min(), index.max()
+                if lo < 0 or hi >= nelem:
+                    raise AccessError(
+                        f"index out of range for '{self.name}' "
+                        f"(0..{nelem - 1}): min={lo}, max={hi}"
+                    )
+            out = index * self.itemsize
+            out += self.base
+            return out if out.dtype == np.int64 else out.astype(np.int64)
+        idx = np.asarray(index)
         if idx.size and (idx.min() < 0 or idx.max() >= nelem):
             raise AccessError(
                 f"index out of range for '{self.name}' "

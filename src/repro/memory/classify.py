@@ -31,11 +31,7 @@ import numpy as np
 
 from repro.config import SdvConfig
 from repro.errors import TraceError
-from repro.memory.cache import SetAssocCache
-from repro.memory.l2hn import L2HomeNode
 from repro.trace.events import (
-    Barrier,
-    ScalarBlock,
     TraceBuffer,
     VMemPattern,
     VOpClass,
@@ -154,144 +150,332 @@ def _coalesce_lines(addrs: np.ndarray, pattern: VMemPattern,
     return lines[keep]
 
 
+def _coalesced_spans(cols, coalesce_gathers: bool
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Coalesce every vector-mem record's arena span at once.
+
+    Returns ``(vm_mask, coal_lines, c_off)``: a per-record bool mask of
+    vector-mem records, the concatenated coalesced line requests, and
+    ``(n+1,)`` offsets into them (empty spans for non-vmem records). The
+    per-record results match :func:`_coalesce_lines` exactly; doing the
+    whole arena in a handful of NumPy passes avoids a Python round-trip
+    per record.
+    """
+    from repro.trace.events import NO_ID, OPCLASS_ID, PATTERN_ID, REC_VECTOR
+
+    mem_id = OPCLASS_ID[VOpClass.MEM]
+    idx_id = PATTERN_ID[VMemPattern.INDEXED]
+    off = cols.addr_off
+    lines_all = cols.addrs >> LINE_SHIFT
+    A = lines_all.shape[0]
+    vm_mask = (cols.kind == REC_VECTOR) & (cols.opclass == mem_id)
+    keep = np.zeros(A, dtype=bool)
+
+    def span_mask(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        edges = np.zeros(A + 1, dtype=np.int32)
+        np.add.at(edges, lo, 1)
+        np.add.at(edges, hi, -1)
+        return np.cumsum(edges[:A]) > 0
+
+    seq_idx = np.flatnonzero(vm_mask & (cols.pattern != idx_id))
+    if seq_idx.size:
+        lo, hi = off[seq_idx], off[seq_idx + 1]
+        diff = np.empty(A, dtype=bool)
+        diff[0] = True
+        np.not_equal(lines_all[1:], lines_all[:-1], out=diff[1:])
+        keep |= span_mask(lo, hi) & diff
+        keep[lo[hi > lo]] = True  # first element of a span always survives
+    idx_idx = np.flatnonzero(vm_mask & (cols.pattern == idx_id))
+    if idx_idx.size:
+        lo, hi = off[idx_idx], off[idx_idx + 1]
+        if not coalesce_gathers:
+            keep |= span_mask(lo, hi)
+        else:
+            # unique-first-occurrence per span, all spans at once: make the
+            # (span, line) pair a single sortable key
+            lens = hi - lo
+            total = int(lens.sum())
+            pos = np.repeat(lo, lens) + (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(np.cumsum(lens) - lens, lens)
+            )
+            sub = lines_all[pos]
+            span_id = np.repeat(np.arange(lens.shape[0], dtype=np.int64),
+                                lens)
+            m = int(sub.max()) + 1 if total else 1
+            _, first = np.unique(span_id * m + sub, return_index=True)
+            keep[pos[first]] = True
+
+    coal_idx = np.flatnonzero(keep)
+    coal_lines = lines_all[coal_idx]
+    c_off = np.searchsorted(coal_idx, off).astype(np.int64)
+    return vm_mask, coal_lines, c_off
+
+
 def classify_trace(trace: TraceBuffer, config: SdvConfig) -> ClassifiedTrace:
-    """Classify every memory reference of ``trace`` against fresh caches."""
+    """Classify every memory reference of ``trace`` against fresh caches.
+
+    Consumes the trace's columns directly (zero-copy). The cache walk
+    below inlines the exact hit/LRU/victim decisions of
+    :class:`SetAssocCache` and :class:`L2HomeNode` — minus their stats and
+    directory bookkeeping, which classification never exposes — because a
+    method call per line request dominates the sweep wall-clock otherwise;
+    ``tests/memory`` pin the two implementations against each other.
+    """
     if not trace.sealed:
         raise TraceError("classify_trace requires a sealed trace")
     config.validate()
+    from repro.trace.events import REC_BARRIER, REC_SCALAR, REC_VECTOR
 
-    l1 = SetAssocCache(config.core.l1d_bytes, config.core.l1d_ways, name="l1d")
-    l2 = L2HomeNode(config.l2)
+    cols = trace.cols
+    n = cols.n
+    mem_id = _OPCLASS_ID[VOpClass.MEM]
+    unit_id = _PATTERN_ID[VMemPattern.UNIT]
     prefetch_depth = config.core.l1_prefetch_depth
 
-    n = len(trace)
+    # ---- vectorized prep: coalescing + bulk row fields -------------------
+    vm_mask, coal_lines, c_off = _coalesced_spans(
+        cols, config.vpu.coalesce_gathers)
+    off = cols.addr_off
+    span_len = off[1:] - off[:-1]
+    is_scalar = cols.kind == REC_SCALAR
+
     rows = np.zeros(n, dtype=ROW_DTYPE)
-    rows["opclass"] = 255
-    rows["pattern"] = 255
-    rows["dep"] = -1
+    rows["kind"] = np.where(
+        cols.kind == REC_BARRIER, KIND_BARRIER,
+        np.where(cols.kind == REC_VECTOR,
+                 np.where(vm_mask, KIND_VMEM, KIND_VARITH),
+                 KIND_SCALAR))
+    rows["n_alu"] = cols.n_alu
+    rows["n_mem"] = np.where(is_scalar, span_len, 0)
+    rows["mlp_hint"] = cols.mlp
+    rows["vl"] = cols.vl
+    rows["active"] = cols.active
+    rows["opclass"] = cols.opclass
+    rows["pattern"] = cols.pattern
+    rows["is_write"] = cols.is_write
+    rows["dep"] = cols.dep
+    rows["scalar_dest"] = cols.scalar_dest
+    rows["n_line_reqs"] = c_off[1:] - c_off[:-1]
+
     levels_per_record: list[np.ndarray | None] = [None] * n
 
-    l1_access = l1.access_line
-    l2_access = l2.access_line
+    # only records that touch memory interact with the cache state
+    work = np.flatnonzero((is_scalar & (span_len > 0)) | vm_mask)
+    w_scalar = is_scalar[work].tolist()
+    w_lo = off[work].tolist()
+    w_hi = off[work + 1].tolist()
+    w_clo = c_off[work].tolist()
+    w_chi = c_off[work + 1].tolist()
+    w_write = cols.is_write[work].tolist()
+    w_fill = (cols.pattern[work] != unit_id).tolist()  # fill_on_store_miss
+    lines_all = cols.addrs >> LINE_SHIFT
+    writes_all = cols.writes
 
-    for i, rec in enumerate(trace):
-        row = rows[i]
-        if isinstance(rec, Barrier):
-            row["kind"] = KIND_BARRIER
-            continue
+    l1_hits_a = np.zeros(n, dtype=np.int64)
+    l2_hits_a = np.zeros(n, dtype=np.int64)
+    dram_reads_a = np.zeros(n, dtype=np.int64)
+    dram_writes_a = np.zeros(n, dtype=np.int64)
+    pf_a = np.zeros(n, dtype=np.int64)
 
-        if isinstance(rec, ScalarBlock):
-            row["kind"] = KIND_SCALAR
-            row["n_alu"] = rec.n_alu_ops
-            row["n_mem"] = rec.n_mem_ops
-            row["mlp_hint"] = rec.mlp_hint
-            if rec.n_mem_ops == 0:
-                continue
-            lines = rec.mem_addrs >> LINE_SHIFT
-            writes = rec.mem_is_write
-            lv = np.empty(rec.n_mem_ops, dtype=np.uint8)
-            dram_writes = 0
-            dram_reads = 0
-            pf_dram_reads = 0
-            l1_hits = 0
-            l2_hits = 0
-            for j in range(rec.n_mem_ops):
-                line = int(lines[j])
-                hit, victim, victim_dirty = l1_access(
-                    line, write=bool(writes[j])
-                )
-                if victim_dirty:
-                    if l2.writeback_line(victim) is not None:
-                        dram_writes += 1
-                if hit:
-                    lv[j] = AccessLevel.L1
-                    l1_hits += 1
+    # ---- cache state, same geometry/policy as SetAssocCache/L2HomeNode --
+    # LRU sets as insertion-ordered dicts: oldest key first (the eviction
+    # victim), most-recent last; a hit moves to the end via del+reinsert.
+    # Same true-LRU policy as SetAssocCache, with O(1) membership and
+    # reordering instead of list scans.
+    l1_ways = config.core.l1d_ways
+    n_sets1 = config.core.l1d_bytes // (l1_ways * LINE_BYTES)
+    mask1 = n_sets1 - 1
+    l1_tags: list[dict[int, None]] = [{} for _ in range(n_sets1)]
+    l1_dirty: list[set[int]] = [set() for _ in range(n_sets1)]
+
+    l2cfg = config.l2
+    bank_mask = l2cfg.banks - 1
+    bank_bits = log2_int(l2cfg.banks)
+    l2_ways = l2cfg.ways
+    n_sets2 = l2cfg.bank_bytes // (l2_ways * LINE_BYTES)
+    mask2 = n_sets2 - 1
+    # flat [bank * n_sets2 + set] indexing across all banks
+    l2_tags: list[dict[int, None]] = [{} for _ in range(l2cfg.banks * n_sets2)]
+    l2_dirty: list[set[int]] = [set() for _ in range(l2cfg.banks * n_sets2)]
+
+    L1, L2, DRAM = (int(AccessLevel.L1), int(AccessLevel.L2),
+                    int(AccessLevel.DRAM))
+
+    def l2_ref(line: int, write: bool) -> tuple[bool, bool]:
+        """L2 access; returns (hit, dirty_victim_evicted)."""
+        local = line >> bank_bits
+        si = (line & bank_mask) * n_sets2 + (local & mask2)
+        tags = l2_tags[si]
+        if local in tags:
+            del tags[local]
+            tags[local] = None
+            if write:
+                l2_dirty[si].add(local)
+            return True, False
+        tags[local] = None
+        if write:
+            l2_dirty[si].add(local)
+        if len(tags) > l2_ways:
+            victim = next(iter(tags))
+            del tags[victim]
+            d = l2_dirty[si]
+            if victim in d:
+                d.discard(victim)
+                return False, True
+        return False, False
+
+    def l2_writeback(line: int) -> bool:
+        """Dirty install from L1 (no fill); returns dirty_victim_evicted."""
+        local = line >> bank_bits
+        si = (line & bank_mask) * n_sets2 + (local & mask2)
+        tags = l2_tags[si]
+        d = l2_dirty[si]
+        if local in tags:
+            del tags[local]
+            tags[local] = None
+            d.add(local)
+            return False
+        tags[local] = None
+        d.add(local)
+        if len(tags) > l2_ways:
+            victim = next(iter(tags))
+            del tags[victim]
+            if victim in d:
+                d.discard(victim)
+                return True
+        return False
+
+    # ---- the walk --------------------------------------------------------
+    for w, i in enumerate(work.tolist()):
+        if w_scalar[w]:
+            lo, hi = w_lo[w], w_hi[w]
+            lines = lines_all[lo:hi].tolist()
+            wr = writes_all[lo:hi].tolist()
+            m = hi - lo
+            lv = np.empty(m, dtype=np.uint8)
+            dram_writes = dram_reads = pf_reads = l1h = l2h = 0
+            for j in range(m):
+                line = lines[j]
+                # L1 access (write-allocate, write-back, true LRU)
+                si = line & mask1
+                tags = l1_tags[si]
+                if line in tags:
+                    del tags[line]
+                    tags[line] = None
+                    if wr[j]:
+                        l1_dirty[si].add(line)
+                    lv[j] = L1
+                    l1h += 1
                     continue
-                hit2, victim2 = l2_access(line, write=False)
-                if victim2 is not None:
+                tags[line] = None
+                if wr[j]:
+                    l1_dirty[si].add(line)
+                if len(tags) > l1_ways:
+                    victim = next(iter(tags))
+                    del tags[victim]
+                    d = l1_dirty[si]
+                    if victim in d:
+                        d.discard(victim)
+                        if l2_writeback(victim):
+                            dram_writes += 1
+                hit2, dirty_victim = l2_ref(line, False)
+                if dirty_victim:
                     dram_writes += 1
                 if hit2:
-                    lv[j] = AccessLevel.L2
-                    l2_hits += 1
+                    lv[j] = L2
+                    l2h += 1
                 else:
-                    lv[j] = AccessLevel.DRAM
+                    lv[j] = DRAM
                     dram_reads += 1
                 # next-N-line stream prefetch: fill L1 (and L2 on the way)
                 # with the following lines; prefetch fills consume DRAM
                 # bandwidth but, being non-blocking, add no demand stall
                 for p_ in range(1, prefetch_depth + 1):
                     pline = line + p_
-                    if l1.contains_line(pline):
+                    psi = pline & mask1
+                    ptags = l1_tags[psi]
+                    if pline in ptags:
                         continue
-                    _h2, victim_p = l2_access(pline, write=False)
-                    if victim_p is not None:
+                    ph2, pdirty = l2_ref(pline, False)
+                    if pdirty:
                         dram_writes += 1
-                    if not _h2:
-                        pf_dram_reads += 1
-                    _hit_p, victim_l1, victim_l1_dirty = l1_access(
-                        pline, write=False)
-                    if victim_l1_dirty:
-                        if l2.writeback_line(victim_l1) is not None:
-                            dram_writes += 1
-            row["l1_hits"] = l1_hits
-            row["l2_hits"] = l2_hits
-            row["dram_reads"] = dram_reads
-            row["dram_writes"] = dram_writes
-            row["pf_dram_reads"] = pf_dram_reads
+                    if not ph2:
+                        pf_reads += 1
+                    ptags[pline] = None
+                    if len(ptags) > l1_ways:
+                        victim = next(iter(ptags))
+                        del ptags[victim]
+                        d = l1_dirty[psi]
+                        if victim in d:
+                            d.discard(victim)
+                            if l2_writeback(victim):
+                                dram_writes += 1
+            l1_hits_a[i] = l1h
+            l2_hits_a[i] = l2h
+            dram_reads_a[i] = dram_reads
+            dram_writes_a[i] = dram_writes
+            pf_a[i] = pf_reads
             levels_per_record[i] = lv
             continue
 
-        # VectorInstr
-        if rec.op is not VOpClass.MEM:
-            row["kind"] = KIND_VARITH
-            row["vl"] = rec.vl
-            row["active"] = rec.active
-            row["opclass"] = _OPCLASS_ID[rec.op]
-            row["dep"] = rec.dep
-            row["scalar_dest"] = 1 if rec.scalar_dest else 0
-            continue
-
-        row["kind"] = KIND_VMEM
-        row["vl"] = rec.vl
-        row["active"] = rec.active
-        row["opclass"] = _OPCLASS_ID[rec.op]
-        row["pattern"] = _PATTERN_ID[rec.pattern]
-        row["is_write"] = 1 if rec.is_write else 0
-        row["dep"] = rec.dep
-        row["scalar_dest"] = 1 if rec.scalar_dest else 0
-        lines = _coalesce_lines(
-            rec.addrs, rec.pattern, config.vpu.coalesce_gathers
-        )
-        row["n_line_reqs"] = lines.shape[0]
-        lv = np.empty(lines.shape[0], dtype=np.uint8)
-        dram_writes = 0
-        dram_reads = 0
-        l2_hits = 0
+        # vector memory record
+        lines = coal_lines[w_clo[w]:w_chi[w]].tolist()
+        is_write = w_write[w]
         # unit-stride stores allocate whole lines without fetching
-        fill_on_store_miss = rec.pattern is not VMemPattern.UNIT
-        for j in range(lines.shape[0]):
-            line = int(lines[j])
+        no_fill_store = is_write and not w_fill[w]
+        lv = np.empty(len(lines), dtype=np.uint8)
+        dram_writes = dram_reads = l2h = 0
+        for j, line in enumerate(lines):
             # home-node recall of lines the scalar side holds
-            if l1.contains_line(line):
-                if l1.invalidate_line(line):
-                    if l2.writeback_line(line) is not None:
+            si = line & mask1
+            tags = l1_tags[si]
+            if line in tags:
+                del tags[line]
+                d = l1_dirty[si]
+                if line in d:
+                    d.discard(line)
+                    if l2_writeback(line):
                         dram_writes += 1
-            hit, victim = l2_access(line, write=rec.is_write)
-            if victim is not None:
-                dram_writes += 1
-            if hit:
-                lv[j] = AccessLevel.L2
-                l2_hits += 1
-            elif rec.is_write and not fill_on_store_miss:
-                lv[j] = AccessLevel.L2  # allocated without fill
-                l2_hits += 1
+            # L2 access, inlined (== l2_ref): this is the hottest loop of
+            # a sweep, and the call overhead alone is measurable
+            local = line >> bank_bits
+            si2 = (line & bank_mask) * n_sets2 + (local & mask2)
+            tags2 = l2_tags[si2]
+            if local in tags2:
+                del tags2[local]
+                tags2[local] = None
+                if is_write:
+                    l2_dirty[si2].add(local)
+                lv[j] = L2
+                l2h += 1
+                continue
+            tags2[local] = None
+            if is_write:
+                l2_dirty[si2].add(local)
+            if len(tags2) > l2_ways:
+                victim = next(iter(tags2))
+                del tags2[victim]
+                d2 = l2_dirty[si2]
+                if victim in d2:
+                    d2.discard(victim)
+                    dram_writes += 1
+            if no_fill_store:
+                lv[j] = L2
+                l2h += 1
             else:
-                lv[j] = AccessLevel.DRAM
+                lv[j] = DRAM
                 dram_reads += 1
-        row["l2_hits"] = l2_hits
-        row["dram_reads"] = dram_reads
-        row["dram_writes"] = dram_writes
+        l2_hits_a[i] = l2h
+        dram_reads_a[i] = dram_reads
+        dram_writes_a[i] = dram_writes
         levels_per_record[i] = lv
+
+    rows["l1_hits"] = l1_hits_a
+    rows["l2_hits"] = l2_hits_a
+    rows["dram_reads"] = dram_reads_a
+    rows["dram_writes"] = dram_writes_a
+    rows["pf_dram_reads"] = pf_a
 
     return ClassifiedTrace(rows=rows, levels=levels_per_record, trace=trace,
                            config=config)

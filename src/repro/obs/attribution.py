@@ -67,7 +67,6 @@ from repro.engine.core_model import (
     VECTOR_DISPATCH_CYCLES,
     VSETVL_CYCLES,
 )
-from repro.engine.fast_sim import simulate_fast
 from repro.engine.lower import (
     LKIND_CSR,
     LKIND_VARITH,
@@ -321,12 +320,16 @@ def attribute_many(ct: ClassifiedTrace, configs, *,
                    ) -> list[CycleAttribution]:
     """Vectorized attribution of one trace at many knob settings.
 
-    The sweep counterpart of :func:`attribute`: ladder levels L0 and L1
-    depend on the knobs, so they run as two vectorized batch walks over
-    the config axis; L2 collapses to a single knob-independent walk
-    (zero DRAM latency makes DRAM look like L2, erasing both knobs) and
-    L3/L4 to two fast-engine runs shared by every config. Total work for
-    K sweep points: ~3 batch walks + 2 fast walks, not 5K runs.
+    The sweep counterpart of :func:`attribute`: the classified trace is
+    lowered **once** and every ladder rung of every config is timed in a
+    **single** batch walk with a combined axis of ``2K + 3`` columns —
+    L0 and L1 per config (actual knobs / limiter at peak), then the three
+    knob-free idealizations L2 (zero DRAM latency), L3 (plus a
+    zero-latency NoC) and L4 (plus 1-cycle caches). L3/L4 reuse the same
+    lowered arrays via the walk's ``l2_lat`` axis: the NoC and cache
+    latencies enter the timing model only through the L2 hit latency, so
+    idealizing them is a per-column latency substitution, not a
+    re-lowering. Total work for K sweep points: one walk, not 5K runs.
 
     Bit-identical to ``attribute(engine="batch")`` (and therefore to
     ``engine="fast"``) at each config — the agreement tests pin it.
@@ -338,26 +341,29 @@ def attribute_many(ct: ClassifiedTrace, configs, *,
     if lowered.n == 0:
         return [_empty("batch") for _ in configs]
 
+    K = len(configs)
     lat, den, num = _knob_axes(lowered, configs)
-    ones = np.ones_like(lat)
-    t0s = _walk(lowered, lat, den, num)["cycles"]
-    t1s = _walk(lowered, lat, ones, ones)["cycles"]
-    # L2: dram_latency == l2_hit_latency, limiter at peak — knob-free
-    one = np.ones(1)
-    t2 = float(_walk(lowered, np.array([lowered.base.l2_hit_latency]),
-                     one, one)["cycles"][0])
-    # L3/L4 differ from the lowered arrays' baked-in NoC/cache latencies:
-    # re-lower under the ladder config (fast == batch bit-for-bit)
+    ones = np.ones(K + 3)
+    l2_base = lowered.base.l2_hit_latency
     ladder = attribution_ladder(lowered.base_key)
-    t3 = float(simulate_fast(
-        dataclasses.replace(ct, config=ladder[3])).cycles)
-    t4 = float(simulate_fast(
-        dataclasses.replace(ct, config=ladder[4])).cycles)
+    # L2..L4 collapse DRAM onto the (progressively idealized) L2: their
+    # dram_latency equals their l2_hit_latency, via the same float path
+    # the ladder configs themselves compute
+    ideal = [(cfg.dram_latency, cfg.l2_hit_latency) for cfg in ladder[2:]]
+    lat_all = np.concatenate([lat, lat, [dl for dl, _ in ideal]])
+    den_all = np.concatenate([den, ones])
+    num_all = np.concatenate([num, ones])
+    l2_all = np.concatenate([np.full(2 * K + 1, l2_base),
+                             [l2 for _, l2 in ideal[1:]]])
+    cyc = _walk(lowered, lat_all, den_all, num_all, l2_lat=l2_all)["cycles"]
+    t2 = float(cyc[2 * K])
+    t3 = float(cyc[2 * K + 1])
+    t4 = float(cyc[2 * K + 2])
 
     issue_demand, vpu_demand = _demands(lowered)
     return [
         _from_ladder(
-            (float(t0s[k]), float(t1s[k]), t2, t3, t4),
+            (float(cyc[k]), float(cyc[K + k]), t2, t3, t4),
             issue_demand, vpu_demand, engine="batch",
             dram_latency_demand=(lowered.total_dram_reads
                                  * configs[k].dram_latency),

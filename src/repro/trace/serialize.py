@@ -6,9 +6,12 @@ traces lets a workflow record once and re-time under many machine
 configurations later, in other processes, or on other machines — the
 simulator-world analogue of keeping the compiled benchmark binary around.
 
-Format: a single compressed ``.npz`` holding columnar record metadata plus
-one concatenated address pool (scalar addresses and vector element
-addresses), with offsets per record. Version-tagged for forward safety.
+Format v2 is the buffer's columnar (SoA) form verbatim: the record columns,
+the pooled address/write arena with per-record offsets, and the interned
+string table. Saving is a handful of array writes and loading is
+:meth:`repro.trace.events.TraceBuffer.from_columns` — no per-record Python
+loop in either direction. v1 files (one object-array entry per record
+string, reconstructed through the dataclass path) still load.
 """
 
 from __future__ import annotations
@@ -22,22 +25,78 @@ from repro.trace.events import (
     Barrier,
     ScalarBlock,
     TraceBuffer,
+    TraceColumns,
     VectorInstr,
     VMemPattern,
     VOpClass,
 )
 
-FORMAT_VERSION = 1
+#: current on-disk format; also part of the sweep trace-cache key, so stale
+#: cache entries from an older schema are never picked up.
+FORMAT_VERSION = 2
 
-_KIND = {"scalar": 0, "vector": 1, "barrier": 2}
+_V1_KIND = {"scalar": 0, "vector": 1, "barrier": 2}
 _OPCLASS = list(VOpClass)
 _OPCLASS_ID = {c: i for i, c in enumerate(VOpClass)}
 _PATTERN = list(VMemPattern)
 _PATTERN_ID = {p: i for i, p in enumerate(VMemPattern)}
 
+#: the fixed-width columns of a v2 file, in schema order
+_V2_COLUMNS = (
+    "kind", "n_alu", "mlp", "mem_bytes", "vl", "active", "opclass",
+    "pattern", "is_write", "masked", "dep", "scalar_dest",
+    "opcode_id", "label_id",
+)
+
 
 def save_trace(trace: TraceBuffer, path: str | os.PathLike) -> None:
-    """Write a sealed trace to ``path`` (.npz, compressed)."""
+    """Write a sealed trace to ``path`` (.npz, compressed, format v2)."""
+    if not trace.sealed:
+        raise TraceError("only sealed traces can be saved")
+    c = trace.cols
+    # '\0' never occurs in opcodes/labels, so the intern table packs into
+    # one flat string (no pickled object arrays in v2 files)
+    for s in c.strings:
+        if "\0" in s:
+            raise TraceError(f"string table entry contains NUL: {s!r}")
+    np.savez_compressed(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        addr_off=c.addr_off, addrs=c.addrs, writes=c.writes,
+        strings=np.frombuffer(
+            "\0".join(c.strings).encode("utf-8"), dtype=np.uint8),
+        **{name: getattr(c, name) for name in _V2_COLUMNS},
+    )
+
+
+def load_trace(path: str | os.PathLike) -> TraceBuffer:
+    """Read a trace saved by :func:`save_trace`; returns it sealed."""
+    with np.load(path, allow_pickle=True) as z:
+        version = int(z["version"])
+        if version == 2:
+            return _load_v2(z)
+        if version == 1:
+            return _load_v1(z)
+    raise TraceError(
+        f"trace format version {version} unsupported "
+        f"(this build reads versions 1..{FORMAT_VERSION})"
+    )
+
+
+def _load_v2(z) -> TraceBuffer:
+    strings = bytes(z["strings"]).decode("utf-8").split("\0")
+    cols = TraceColumns(
+        addr_off=z["addr_off"], addrs=z["addrs"], writes=z["writes"],
+        strings=strings,
+        **{name: z[name] for name in _V2_COLUMNS},
+    )
+    return TraceBuffer.from_columns(cols)
+
+
+# --------------------------------------------------------------- v1 support
+
+def _save_v1(trace: TraceBuffer, path: str | os.PathLike) -> None:
+    """Legacy record-loop writer, kept so tests can pin v1 loading."""
     if not trace.sealed:
         raise TraceError("only sealed traces can be saved")
     n = len(trace)
@@ -62,7 +121,7 @@ def save_trace(trace: TraceBuffer, path: str | os.PathLike) -> None:
     total = 0
     for i, rec in enumerate(trace):
         if isinstance(rec, ScalarBlock):
-            kind[i] = _KIND["scalar"]
+            kind[i] = _V1_KIND["scalar"]
             n_alu[i] = rec.n_alu_ops
             mlp[i] = rec.mlp_hint
             mem_bytes[i] = rec.mem_bytes
@@ -72,7 +131,7 @@ def save_trace(trace: TraceBuffer, path: str | os.PathLike) -> None:
             write_chunks.append(rec.mem_is_write)
             total += rec.mem_addrs.shape[0]
         elif isinstance(rec, VectorInstr):
-            kind[i] = _KIND["vector"]
+            kind[i] = _V1_KIND["vector"]
             vl[i] = rec.vl
             active[i] = rec.active if rec.active is not None else rec.vl
             opclass[i] = _OPCLASS_ID[rec.op]
@@ -91,14 +150,14 @@ def save_trace(trace: TraceBuffer, path: str | os.PathLike) -> None:
                     np.full(rec.addrs.shape[0], rec.is_write))
                 total += rec.addrs.shape[0]
         else:  # Barrier
-            kind[i] = _KIND["barrier"]
+            kind[i] = _V1_KIND["barrier"]
             labels.append(rec.label)
             opcodes.append("")
         addr_off[i + 1] = total
 
     np.savez_compressed(
         path,
-        version=np.int64(FORMAT_VERSION),
+        version=np.int64(1),
         kind=kind, n_alu=n_alu, mlp=mlp, mem_bytes=mem_bytes,
         vl=vl, active=active, opclass=opclass, pattern=pattern,
         is_write=is_write, masked=masked, dep=dep, scalar_dest=scalar_dest,
@@ -113,39 +172,31 @@ def save_trace(trace: TraceBuffer, path: str | os.PathLike) -> None:
     )
 
 
-def load_trace(path: str | os.PathLike) -> TraceBuffer:
-    """Read a trace saved by :func:`save_trace`; returns it sealed."""
-    with np.load(path, allow_pickle=True) as z:
-        version = int(z["version"])
-        if version != FORMAT_VERSION:
-            raise TraceError(
-                f"trace format version {version} unsupported "
-                f"(expected {FORMAT_VERSION})"
-            )
-        # each z[...] access decompresses that member from scratch, so pull
-        # every column out exactly once before the per-record loop
-        kind = z["kind"]
-        addr_off = z["addr_off"]
-        addrs = z["addrs"]
-        writes = z["writes"]
-        opcodes = z["opcodes"]
-        labels = z["labels"]
-        n_alu = z["n_alu"]
-        mlp = z["mlp"]
-        mem_bytes = z["mem_bytes"]
-        vl = z["vl"]
-        active = z["active"]
-        opclass = z["opclass"]
-        pattern = z["pattern"]
-        is_write = z["is_write"]
-        masked = z["masked"]
-        dep = z["dep"]
-        scalar_dest = z["scalar_dest"]
+def _load_v1(z) -> TraceBuffer:
+    # each z[...] access decompresses that member from scratch, so pull
+    # every column out exactly once before the per-record loop
+    kind = z["kind"]
+    addr_off = z["addr_off"]
+    addrs = z["addrs"]
+    writes = z["writes"]
+    opcodes = z["opcodes"]
+    labels = z["labels"]
+    n_alu = z["n_alu"]
+    mlp = z["mlp"]
+    mem_bytes = z["mem_bytes"]
+    vl = z["vl"]
+    active = z["active"]
+    opclass = z["opclass"]
+    pattern = z["pattern"]
+    is_write = z["is_write"]
+    masked = z["masked"]
+    dep = z["dep"]
+    scalar_dest = z["scalar_dest"]
 
     trace = TraceBuffer()
     for i in range(kind.shape[0]):
         lo, hi = int(addr_off[i]), int(addr_off[i + 1])
-        if kind[i] == _KIND["scalar"]:
+        if kind[i] == _V1_KIND["scalar"]:
             trace.append(ScalarBlock(
                 n_alu_ops=int(n_alu[i]),
                 mem_addrs=addrs[lo:hi],
@@ -154,7 +205,7 @@ def load_trace(path: str | os.PathLike) -> TraceBuffer:
                 mlp_hint=int(mlp[i]),
                 label=str(labels[i]),
             ))
-        elif kind[i] == _KIND["vector"]:
+        elif kind[i] == _V1_KIND["vector"]:
             op = _OPCLASS[int(opclass[i])]
             pat = (None if pattern[i] == 255
                    else _PATTERN[int(pattern[i])])

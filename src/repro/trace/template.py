@@ -1,0 +1,378 @@
+"""Strip-mine loop templating: record one iteration, replicate vectorized.
+
+A strip-mined kernel loop stamps the same short instruction sequence
+thousands of times with shifted addresses. Emitting it record by record
+costs a Python round-trip per instruction; this module records the loop
+body *symbolically* — addresses as ``base + offset[i]`` expressions, dep
+edges relative to the iteration — and expands all iterations at once with
+NumPy arithmetic, handing the buffer one pre-built column batch via
+:meth:`repro.trace.events.TraceBuffer.extend_columns`.
+
+Per template record, three address modes:
+
+* none — arithmetic/CSR/barrier records;
+* affine — ``base_addrs`` (one iteration's addresses) plus
+  ``iter_offsets`` (one byte offset per iteration): iteration ``i``
+  touches ``base_addrs + iter_offsets[i]``;
+* explicit — ``flat_addrs``/``counts``: iteration ``i`` owns the next
+  ``counts[i]`` entries of the flat array (data-dependent gathers,
+  masked scatters, varying VL).
+
+Scalar fields (``vl``, ``active``, ``n_alu``) accept a constant or a
+per-iteration array. Dependencies are one of ``None`` (no dep), a local
+index into the current iteration, :meth:`Dep.prev` (same slot chain into
+the previous iteration, software-pipelined loads), or :meth:`Dep.at` (an
+absolute record index, e.g. an accumulator initialized before the loop).
+
+Expansion is bit-exact: ``replicate(n)`` appends exactly the records the
+equivalent per-iteration emission loop would have appended, in the same
+order with the same fields — the property tests in
+``tests/trace/test_template.py`` pin this against the object path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    _COL_DTYPES,
+    MLP_UNBOUNDED,
+    NO_ID,
+    OPCLASS_ID,
+    PATTERN_ID,
+    REC_BARRIER,
+    REC_SCALAR,
+    REC_VECTOR,
+    TraceBuffer,
+    VMemPattern,
+    VOpClass,
+)
+
+_D_NONE, _D_LOCAL, _D_PREV, _D_ABS = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class Dep:
+    """A dependency spec for a template record."""
+
+    mode: int
+    slot: int = -1      # local index within an iteration (_D_LOCAL/_D_PREV)
+    first: int = -1     # absolute dep of iteration 0 (_D_PREV) or the
+                        # absolute record index (_D_ABS)
+
+    @classmethod
+    def local(cls, slot: int) -> "Dep":
+        """Depend on record ``slot`` of the *same* iteration."""
+        return cls(_D_LOCAL, slot=slot)
+
+    @classmethod
+    def prev(cls, slot: int, first: int = -1) -> "Dep":
+        """Depend on record ``slot`` of the *previous* iteration.
+
+        Iteration 0 depends on ``first`` (an absolute record index, e.g.
+        the pipeline-priming load emitted before the loop; -1 for none).
+        """
+        return cls(_D_PREV, slot=slot, first=first)
+
+    @classmethod
+    def at(cls, index: int) -> "Dep":
+        """Depend on absolute record ``index`` in every iteration."""
+        return cls(_D_ABS, first=index)
+
+
+def _normalize_dep(dep) -> Dep:
+    if dep is None:
+        return _DEP_NONE
+    if isinstance(dep, Dep):
+        return dep
+    return Dep.local(int(dep))
+
+
+_DEP_NONE = Dep(_D_NONE)
+
+
+def _per_iter(value, n: int, name: str) -> tuple[bool, object]:
+    """Classify a const-or-per-iteration field; returns (varying, value)."""
+    if isinstance(value, np.ndarray):
+        if value.shape != (n,):
+            raise TraceError(
+                f"template field {name}: per-iteration array has shape "
+                f"{value.shape}, expected ({n},)"
+            )
+        return True, value
+    return False, value
+
+
+def _c64(a: np.ndarray | None) -> np.ndarray | None:
+    return None if a is None else np.ascontiguousarray(a, dtype=np.int64)
+
+
+# Column order of the per-slot constant-field tuples in ``_scal``:
+# (kind, mlp, mem_bytes, opclass, pattern, is_write, masked, scalar_dest).
+# One int tuple per slot keeps recording cheap and lets replicate()
+# materialize all constant columns with a single np.array call. The
+# per-slot string (opcode or label) lives in ``_strs`` and is interned
+# lazily at replicate() time, so a recorded-but-never-replicated body
+# leaves the buffer's string table exactly as the object path would.
+_K_KIND, _K_MLP, _K_BYTES, _K_OPCLASS, _K_PATTERN = 0, 1, 2, 3, 4
+_K_WRITE, _K_MASKED, _K_SDEST = 5, 6, 7
+
+# Column order of the per-slot varying/object tuples in ``_var``:
+# (vl, active, n_alu, dep, base_addrs, iter_offsets, flat_addrs, counts,
+#  writes).
+_V_VL, _V_ACTIVE, _V_NALU, _V_DEP = 0, 1, 2, 3
+_V_BASE, _V_IOFF, _V_FLAT, _V_COUNTS, _V_WRITES = 4, 5, 6, 7, 8
+
+# Column offsets of the expansion's (m, 15) row matrix — _COL_DTYPES order.
+(_O_KIND, _O_NALU, _O_MLP, _O_BYTES, _O_VL, _O_ACTIVE, _O_OPCLASS,
+ _O_PATTERN, _O_WRITE, _O_MASKED, _O_DEP, _O_SDEST, _O_OPCODE, _O_LABEL,
+ _O_NADDR) = range(15)
+assert len(_COL_DTYPES) == 15
+
+
+class TraceTemplate:
+    """Record one loop iteration symbolically; replicate it vectorized."""
+
+    def __init__(self, trace: TraceBuffer) -> None:
+        self.trace = trace
+        self._scal: list[tuple] = []   # constant int fields, see _K_*
+        self._var: list[tuple] = []    # varying/address fields, see _V_*
+        self._strs: list[str] = []     # per-slot opcode or label
+
+    def __len__(self) -> int:
+        return len(self._scal)
+
+    # ------------------------------------------------------------ recording
+
+    def vector(self, op: VOpClass, vl, opcode: str, *,
+               pattern: VMemPattern | None = None,
+               base_addrs: np.ndarray | None = None,
+               iter_offsets: np.ndarray | None = None,
+               flat_addrs: np.ndarray | None = None,
+               counts: np.ndarray | None = None,
+               is_write: bool = False, elem_bytes: int = 8,
+               masked: bool = False, active=None, dep=None,
+               scalar_dest: bool = False) -> int:
+        """Add one vector instruction to the body; returns its local index."""
+        if op is VOpClass.MEM:
+            if (base_addrs is None) == (flat_addrs is None):
+                raise TraceError(
+                    f"{opcode}: MEM template record needs exactly one of "
+                    "base_addrs (affine) or flat_addrs (explicit)"
+                )
+            if base_addrs is not None and iter_offsets is None:
+                raise TraceError(f"{opcode}: affine addresses need "
+                                 "iter_offsets")
+            if flat_addrs is not None and counts is None:
+                raise TraceError(f"{opcode}: explicit addresses need counts")
+        elif base_addrs is not None or flat_addrs is not None:
+            raise TraceError(f"{opcode}: non-MEM template record carries "
+                             "addresses")
+        self._scal.append((
+            REC_VECTOR, 0, elem_bytes, OPCLASS_ID[op],
+            NO_ID if pattern is None else PATTERN_ID[pattern],
+            1 if is_write else 0, 1 if masked else 0,
+            1 if scalar_dest else 0,
+        ))
+        self._strs.append(opcode)
+        self._var.append((
+            vl, active, 0, _normalize_dep(dep),
+            _c64(base_addrs), _c64(iter_offsets),
+            _c64(flat_addrs), _c64(counts), None,
+        ))
+        return len(self._scal) - 1
+
+    def scalar_block(self, n_alu, *,
+                     base_addrs: np.ndarray | None = None,
+                     iter_offsets: np.ndarray | None = None,
+                     flat_addrs: np.ndarray | None = None,
+                     counts: np.ndarray | None = None,
+                     writes: np.ndarray | bool = False,
+                     mem_bytes: int = 8, mlp_hint: int = MLP_UNBOUNDED,
+                     label: str = "") -> int:
+        """Add one scalar block; address spec as in :meth:`vector`.
+
+        ``writes`` is a constant flag or one iteration's per-access bool
+        array (every iteration of a templated block shares the pattern).
+        """
+        if base_addrs is not None and iter_offsets is None:
+            raise TraceError("affine scalar block needs iter_offsets")
+        if flat_addrs is not None and counts is None:
+            raise TraceError("explicit scalar block needs counts")
+        w = None
+        if isinstance(writes, np.ndarray):
+            w = np.ascontiguousarray(writes, dtype=bool)
+        elif writes:
+            raise TraceError("writes=True is ambiguous; pass the bool array")
+        self._scal.append((
+            REC_SCALAR, mlp_hint, mem_bytes, NO_ID, NO_ID, 0, 0, 0,
+        ))
+        self._strs.append(label)
+        self._var.append((
+            0, None, n_alu, _DEP_NONE,
+            _c64(base_addrs), _c64(iter_offsets),
+            _c64(flat_addrs), _c64(counts), w,
+        ))
+        return len(self._scal) - 1
+
+    def barrier(self, label: str = "") -> int:
+        self._scal.append((
+            REC_BARRIER, 0, 0, NO_ID, NO_ID, 0, 0, 0,
+        ))
+        self._strs.append(label)
+        self._var.append((0, None, 0, _DEP_NONE,
+                          None, None, None, None, None))
+        return len(self._scal) - 1
+
+    # ------------------------------------------------------------ expansion
+
+    def replicate(self, n_iters: int) -> int:
+        """Append ``n_iters`` expansions of the body; returns start index.
+
+        The template stays recorded — callers may replicate again (with
+        fresh per-iteration arrays swapped in via re-recording instead).
+        """
+        n = int(n_iters)
+        if n < 0:
+            raise TraceError("negative iteration count")
+        T = len(self._scal)
+        if n == 0 or T == 0:
+            return len(self.trace)
+        m = n * T
+        start = len(self.trace)
+        var = self._var
+
+        # pass 1: one (T, 15) prototype row block in _COL_DTYPES order,
+        # tiled whole — a single np.tile covers every per-slot-constant
+        # column at once. Record (i, t) lands at position i*T + t, so
+        # per-iteration arrays (vl/active/n_alu/counts) and the dep shifts
+        # patch their slot's stride in the tiled matrix afterwards.
+        scal = np.array(self._scal, dtype=np.int64)  # (T, 8)
+        # intern in slot order — the exact order the object path's first
+        # iteration would have interned
+        sid = np.array([self.trace.intern(s) for s in self._strs],
+                       dtype=np.int64)
+        is_vec = scal[:, _K_KIND] == REC_VECTOR
+        proto = np.zeros((T, 15), dtype=np.int64)
+        proto[:, _O_KIND] = scal[:, _K_KIND]
+        proto[:, _O_MLP] = scal[:, _K_MLP]
+        proto[:, _O_BYTES] = scal[:, _K_BYTES]
+        proto[:, _O_OPCLASS] = scal[:, _K_OPCLASS]
+        proto[:, _O_PATTERN] = scal[:, _K_PATTERN]
+        proto[:, _O_WRITE] = scal[:, _K_WRITE]
+        proto[:, _O_MASKED] = scal[:, _K_MASKED]
+        proto[:, _O_SDEST] = scal[:, _K_SDEST]
+        proto[:, _O_OPCODE] = np.where(is_vec, sid, 0)
+        proto[:, _O_LABEL] = np.where(is_vec, 0, sid)
+
+        fixups: list[tuple[int, int, np.ndarray]] = []
+
+        def _fill(col, values, name):
+            for t, value in enumerate(values):
+                if isinstance(value, np.ndarray):
+                    _per_iter(value, n, name)  # shape check
+                    fixups.append((t, col, value))
+                else:
+                    proto[t, col] = value
+
+        _fill(_O_VL, (v[_V_VL] for v in var), "vl")
+        _fill(_O_NALU, (v[_V_NALU] for v in var), "n_alu")
+        _fill(_O_ACTIVE, (v[_V_VL] if v[_V_ACTIVE] is None else v[_V_ACTIVE]
+                          for v in var), "active")
+
+        for t, v in enumerate(var):
+            base_addrs = v[_V_BASE]
+            if base_addrs is not None:
+                if v[_V_IOFF].shape != (n,):
+                    raise TraceError(
+                        f"slot {t}: iter_offsets has shape "
+                        f"{v[_V_IOFF].shape}, expected ({n},)"
+                    )
+                proto[t, _O_NADDR] = base_addrs.shape[0]
+            elif v[_V_FLAT] is not None:
+                counts = v[_V_COUNTS]
+                if counts.shape != (n,):
+                    raise TraceError(
+                        f"slot {t}: counts has shape {counts.shape}, "
+                        f"expected ({n},)"
+                    )
+                if int(counts.sum()) != v[_V_FLAT].shape[0]:
+                    raise TraceError(
+                        f"slot {t}: counts sum to {int(counts.sum())} but "
+                        f"{v[_V_FLAT].shape[0]} flat addresses given"
+                    )
+                fixups.append((t, _O_NADDR, counts))
+
+        # deps: local/prev slots are (absolute base) + i*T; abs/none are
+        # per-slot constants.
+        shifts = np.zeros(T, dtype=np.int64)
+        prev_first: list[tuple[int, int]] = []
+        for t, v in enumerate(var):
+            d = v[_V_DEP]
+            if d.mode == _D_LOCAL:
+                if not 0 <= d.slot < T:
+                    raise TraceError(f"slot {t}: local dep {d.slot} out of "
+                                     "range")
+                proto[t, _O_DEP] = start + d.slot
+                shifts[t] = 1
+            elif d.mode == _D_PREV:
+                if not 0 <= d.slot < T:
+                    raise TraceError(f"slot {t}: prev dep {d.slot} out of "
+                                     "range")
+                proto[t, _O_DEP] = start + d.slot - T
+                shifts[t] = 1
+                prev_first.append((t, d.first))
+            elif d.mode == _D_ABS:
+                proto[t, _O_DEP] = d.first
+            else:
+                proto[t, _O_DEP] = -1
+
+        big = np.tile(proto, (n, 1))  # (m, 15)
+        for t, col, arr in fixups:
+            big[t::T, col] = arr
+        if shifts.any():
+            big[:, _O_DEP] += (np.repeat(np.arange(n, dtype=np.int64) * T, T)
+                               * np.tile(shifts, n))
+        for t, first in prev_first:
+            big[t, _O_DEP] = first
+        n_addr = big[:, _O_NADDR]
+
+        # pass 2: the address arena ----------------------------------------
+        off = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(n_addr, out=off[1:])
+        total = int(off[m])
+        addrs = np.empty(total, dtype=np.int64)
+        sb_writes: list[tuple[int, np.ndarray]] = []
+        for t, v in enumerate(var):
+            base_addrs = v[_V_BASE]
+            flat_addrs = v[_V_FLAT]
+            if base_addrs is not None:
+                P = base_addrs.shape[0]
+                if P:
+                    dst = (off[t:m:T, None]
+                           + np.arange(P, dtype=np.int64)).ravel()
+                    addrs[dst] = (v[_V_IOFF][:, None] + base_addrs).ravel()
+            elif flat_addrs is not None and flat_addrs.shape[0]:
+                starts = off[t:m:T]
+                c = v[_V_COUNTS]
+                pos = np.repeat(starts, c)
+                intra = (np.arange(flat_addrs.shape[0], dtype=np.int64)
+                         - np.repeat(np.cumsum(c) - c, c))
+                addrs[pos + intra] = flat_addrs
+            w = v[_V_WRITES]
+            if w is not None and self._scal[t][_K_KIND] == REC_SCALAR:
+                if base_addrs is not None and w.shape[0] != base_addrs.shape[0]:
+                    raise TraceError(f"slot {t}: writes shape mismatch")
+                for i in range(n):
+                    sb_writes.append((i * T + t, w))
+
+        # extend_columns converts each strided column view to its
+        # contiguous dtype array
+        self.trace.extend_columns(
+            {name: big[:, j] for j, (name, _) in enumerate(_COL_DTYPES)},
+            addrs, sb_writes,
+        )
+        return start

@@ -1,8 +1,9 @@
 """Sweep-harness infrastructure: process fan-out + on-disk trace cache.
 
 Covers the ``jobs=N`` worker-pool path (results identical to serial), the
-``trace_cache=DIR`` path (second run must not re-execute the kernel — a
-poisoned spec proves it), and the hoisted once-per-sweep reference.
+``trace_cache=DIR`` path (a repeat run must not re-execute the kernel, and
+an *edited* kernel must miss the cache), and the hoisted once-per-sweep
+reference.
 """
 
 import dataclasses
@@ -60,8 +61,12 @@ class TestParallelSweeps:
             assert serial.series(impl) == fanned.series(impl)
 
 
-def _boom(session, workload):  # pragma: no cover - must never run
-    raise AssertionError("kernel executed despite a cache hit")
+class _EmitterRan(Exception):
+    """Raised by the edited-kernel stand-in to prove it executed."""
+
+
+def _edited(session, workload):
+    raise _EmitterRan
 
 
 class TestTraceCache:
@@ -78,13 +83,46 @@ class TestTraceCache:
             assert first.series(impl) == second.series(impl)
 
     def test_cache_hit_skips_kernel_execution(self, tmp_path):
+        # wrappers keep the cache key stable across both runs (the key
+        # fingerprints the emitters' defining module, which here is this
+        # test file either way) while counting every actual execution
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        calls = []
+
+        def counting_scalar(session, w):
+            calls.append("scalar")
+            return spec.scalar(session, w)
+
+        def counting_vector(session, w):
+            calls.append("vector")
+            return spec.vector(session, w)
+
+        counted = dataclasses.replace(spec, scalar=counting_scalar,
+                                      vector=counting_vector)
+        latency_sweep(counted, workload, vls=(8,), trace_cache=tmp_path)
+        assert calls  # the warming run did record the traces
+        calls.clear()
+        result = latency_sweep(counted, workload, vls=(8,),
+                               trace_cache=tmp_path, verify=False)
+        assert calls == []  # cache hit: no emitter re-executed
+        assert len(result.measurements) == 2 * len(result.points)
+
+    def test_changed_kernel_source_invalidates_cache(self, tmp_path):
+        # the staleness guard: a spec whose emitter code differs from the
+        # one that warmed the cache must re-record, not load a stale trace
         spec = KERNELS["fft"]
         workload = spec.prepare(get_scale("smoke"), 7)
         latency_sweep(spec, workload, vls=(8,), trace_cache=tmp_path)
-        poisoned = dataclasses.replace(spec, scalar=_boom, vector=_boom)
-        result = latency_sweep(poisoned, workload, vls=(8,),
-                               trace_cache=tmp_path, verify=False)
-        assert len(result.measurements) == 2 * len(result.points)
+        edited = dataclasses.replace(spec, scalar=_edited, vector=_edited)
+        with pytest.raises(_EmitterRan):
+            latency_sweep(edited, workload, vls=(8,),
+                          trace_cache=tmp_path, verify=False)
+        sdv = FpgaSdv().configure(max_vl=8)
+        assert trace_cache_path(tmp_path, spec.name, workload, 8, sdv,
+                                spec=spec) != \
+            trace_cache_path(tmp_path, spec.name, workload, 8, sdv,
+                             spec=edited)
 
     def test_cache_key_distinguishes_vl_and_workload(self, tmp_path):
         spec = KERNELS["fft"]

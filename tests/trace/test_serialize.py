@@ -105,3 +105,50 @@ class TestTimingEquivalence:
             a = simulate_fast(classify_trace(orig, cfg)).cycles
             b = simulate_fast(classify_trace(back, cfg)).cycles
             assert a == b
+
+
+class TestFormatVersions:
+    def test_v2_has_no_pickled_arrays(self, tmp_path):
+        """v2 must stay loadable with allow_pickle=False (plain arrays)."""
+        path = tmp_path / "t.npz"
+        save_trace(make_mixed_trace(), path)
+        with np.load(path, allow_pickle=False) as z:
+            assert int(z["version"]) == FORMAT_VERSION
+            for name in z.files:
+                z[name]  # raises if any member needs pickle
+
+    def test_v1_file_loads_identically(self, tmp_path):
+        """Traces written by the old record-loop writer still load."""
+        from repro.trace.serialize import _save_v1
+
+        orig = make_mixed_trace()
+        p1, p2 = tmp_path / "v1.npz", tmp_path / "v2.npz"
+        _save_v1(orig, p1)
+        save_trace(orig, p2)
+        via_v1, via_v2 = load_trace(p1), load_trace(p2)
+        c1, c2 = via_v1.cols, via_v2.cols
+        assert c1.strings == c2.strings
+        for name in ("kind", "n_alu", "mlp", "mem_bytes", "vl", "active",
+                     "opclass", "pattern", "is_write", "masked", "dep",
+                     "scalar_dest", "opcode_id", "label_id", "addr_off",
+                     "addrs", "writes"):
+            np.testing.assert_array_equal(
+                getattr(c1, name), getattr(c2, name), err_msg=name)
+
+    def test_v1_timing_matches_v2(self, tmp_path):
+        orig = make_mixed_trace()
+        from repro.trace.serialize import _save_v1
+
+        p1, p2 = tmp_path / "v1.npz", tmp_path / "v2.npz"
+        _save_v1(orig, p1)
+        save_trace(orig, p2)
+        cfg = SdvConfig()
+        a = simulate_fast(classify_trace(load_trace(p1), cfg)).cycles
+        b = simulate_fast(classify_trace(load_trace(p2), cfg)).cycles
+        assert a == b
+
+    def test_nul_in_string_table_rejected(self, tmp_path):
+        t = TraceBuffer()
+        t.append(Barrier(label="bad\0label"))
+        with pytest.raises(TraceError):
+            save_trace(t.seal(), tmp_path / "x.npz")
