@@ -2,13 +2,36 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper figures validate examples clean
+.PHONY: install test bench bench-paper figures validate examples clean \
+	lint lint-static lint-types
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# repro's own static verifier (always available) + ruff/mypy when the
+# [lint] extra is installed; missing tools skip with a notice instead of
+# failing developer machines that only carry the runtime deps.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint --all
+	$(MAKE) lint-static
+	$(MAKE) lint-types
+
+lint-static:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed (pip install -e .[lint]); skipping"; \
+	fi
+
+lint-types:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed (pip install -e .[lint]); skipping"; \
+	fi
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

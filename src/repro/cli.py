@@ -178,8 +178,17 @@ def main(argv: list[str] | None = None) -> int:
     pp.add_argument("--bandwidth", type=int, default=None,
                     help="Bandwidth Limiter target in B/cycle")
     sub.add_parser("info", help="print the simulated machine configuration")
+    pl = sub.add_parser("lint",
+                        help="static verification of trace templates, "
+                             "kernel emitters and sweep configs")
+    from repro.lint.runner import add_lint_arguments
+    add_lint_arguments(pl)
 
     args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        from repro.lint.runner import run_lint_cli
+        return run_lint_cli(args)
 
     if args.command == "report":
         from repro.core.suite import render_report, run_suite

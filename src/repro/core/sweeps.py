@@ -24,9 +24,11 @@ bandwidth 1..64 B/cycle in powers of two, VL in {8,...,256} plus scalar.
 from __future__ import annotations
 
 import hashlib
+import importlib
 import inspect
 import os
 import pickle
+import pkgutil
 import sys
 import time
 from collections.abc import Iterable, Sequence
@@ -36,7 +38,7 @@ from pathlib import Path
 from repro.config import SdvConfig
 from repro.core.measurements import Measurement, SweepResult
 from repro.core.parallel import resolve_jobs, run_tasks
-from repro.errors import KernelError, TraceError
+from repro.errors import ConfigError, KernelError, TraceError
 from repro.kernels.base import KernelSpec
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.spans import SpanTracer, get_tracer
@@ -73,6 +75,14 @@ def workload_fingerprint(workload) -> str:
     return hashlib.sha256(payload).hexdigest()[:16]
 
 
+#: trace-machinery modules whose source co-determines every recorded
+#: trace: Dep semantics and replicate() fixups live in ``template``, the
+#: object-vs-columnar emission switch in ``modes``. An edit there changes
+#: the dep/address columns of cached traces without touching any kernel,
+#: so they are always part of the fingerprint.
+_TRACE_MACHINERY_MODULES = ("repro.trace.template", "repro.trace.modes")
+
+
 def kernel_fingerprint(spec: KernelSpec) -> str:
     """Content hash of the code that would generate the trace.
 
@@ -80,20 +90,49 @@ def kernel_fingerprint(spec: KernelSpec) -> str:
     kernel's scalar or vector implementation changes (or the module around
     it — templated emitters lean on module-level helpers), previously
     cached traces must not be served. Hashing the defining modules' source
-    invalidates them automatically. Callables without retrievable source
-    (ad-hoc lambdas, C extensions) fall back to their repr, which at least
-    separates distinct functions.
+    invalidates them automatically. Beyond the defining module itself,
+    the hash covers:
+
+    * every loaded sibling module of the emitter's ``repro.*`` package
+      (templated emitters split helpers across ``kernels/<k>/``), and
+    * the trace machinery (:data:`_TRACE_MACHINERY_MODULES`) — the
+      template ``Dep``/address-stream semantics determine the recorded
+      dep columns, so editing them must invalidate every cached trace.
+
+    Non-``repro`` emitters (ad-hoc test stand-ins) hash only their own
+    module, keeping the key independent of unrelated test-file churn.
+    Callables without retrievable source (ad-hoc lambdas, C extensions)
+    fall back to their repr, which at least separates distinct functions.
     """
     parts = [spec.name]
+    mod_names: set[str] = set(_TRACE_MACHINERY_MODULES)
     for fn in (spec.scalar, spec.vector):
-        mod = sys.modules.get(getattr(fn, "__module__", None))
-        try:
-            parts.append(inspect.getsource(mod if mod is not None else fn))
-        except (OSError, TypeError):
+        mod_name = getattr(fn, "__module__", None)
+        if mod_name is None:
             try:
                 parts.append(inspect.getsource(fn))
             except (OSError, TypeError):
                 parts.append(repr(fn))
+            continue
+        mod_names.add(mod_name)
+        if mod_name.startswith("repro."):
+            # enumerate the emitter's package from disk (not from
+            # sys.modules, which would make the key import-order
+            # dependent and break parent/worker agreement)
+            pkg_name = mod_name.rsplit(".", 1)[0]
+            try:
+                pkg = importlib.import_module(pkg_name)
+            except ImportError:
+                continue
+            for info in pkgutil.iter_modules(getattr(pkg, "__path__", [])):
+                if not info.ispkg:
+                    mod_names.add(f"{pkg_name}.{info.name}")
+    for name in sorted(mod_names):
+        try:
+            mod = importlib.import_module(name)
+            parts.append(inspect.getsource(mod))
+        except (ImportError, OSError, TypeError):
+            parts.append(f"<no-source:{name}>")
     return hashlib.sha256("\0".join(parts).encode()).hexdigest()[:12]
 
 
@@ -297,11 +336,32 @@ def _impl_task(args) -> _ImplOutcome:
                           trace_spans, attributions)
 
 
+def _validate_grid(axis: str, points: Sequence[int], vls: Sequence[int],
+                   config: SdvConfig | None) -> None:
+    """Fail fast on an illegal sweep grid, *before* trace generation.
+
+    Trace generation is the expensive half of a sweep; an illegal knob
+    value must not surface as a mid-sweep engine error after minutes of
+    emitting. Reuses the ``repro.lint`` config pass so the CLI linter and
+    the harness agree on legality.
+    """
+    from repro.lint.config_rules import check_sweep
+    from repro.lint.findings import Severity
+
+    errors = [f for f in check_sweep(axis, points, vls, config=config)
+              if f.severity >= Severity.ERROR]
+    if errors:
+        lines = "; ".join(f"{f.rule} {f.location}: {f.message}"
+                          for f in errors)
+        raise ConfigError(f"illegal {axis} sweep grid: {lines}")
+
+
 def _sweep(spec: KernelSpec, workload, axis: str, points: list[int],
            vls: Sequence[int], include_scalar: bool,
            config: SdvConfig | None, verify: bool, keep_reports: bool,
            engine: str, jobs: int, trace_cache,
            attributions: bool = False) -> SweepResult:
+    _validate_grid(axis, points, vls, config)
     impls = _impls(vls, include_scalar)
     result = SweepResult(
         kernel=spec.name, axis=axis, points=points,

@@ -204,13 +204,23 @@ class VectorContext:
                           dep=_dep_of(mask))
 
     def vlxe(self, alloc: Allocation, index: VReg,
-             mask: VMask | None = None) -> VReg:
-        """Indexed load (gather): element indices come from ``index``."""
+             mask: VMask | None = None, *,
+             after: int | None = None) -> VReg:
+        """Indexed load (gather): element indices come from ``index``.
+
+        ``after`` declares an explicit *memory-ordering* dependency: the
+        trace index of an earlier store this gather must wait for (the
+        machine has no inter-instruction memory disambiguation, so a
+        gather reading addresses a prior scatter wrote must say so). It
+        replaces the register-dataflow dep — the binding constraint is
+        the in-flight store, not the long-completed index register.
+        """
         self._require_vl(index, *self._mask_ops(mask))
         if index.is_float:
             raise IsaError("vlxe index register must be integer")
+        dep = _dep_of(index, mask) if after is None else after
         return self._load(alloc, index.data, VMemPattern.INDEXED, "vlxe",
-                          mask, dep=_dep_of(index, mask))
+                          mask, dep=dep)
 
     def _load(self, alloc: Allocation, idx: np.ndarray, pattern: VMemPattern,
               opcode: str, mask: VMask | None, dep: int) -> VReg:
@@ -237,33 +247,39 @@ class VectorContext:
     # ---------------------------------------------------------------- stores
 
     def vse(self, value: VReg, alloc: Allocation, offset: int = 0,
-            mask: VMask | None = None) -> None:
-        """Unit-stride store of ``vl`` elements starting at ``offset``."""
+            mask: VMask | None = None) -> int:
+        """Unit-stride store of ``vl`` elements starting at ``offset``.
+
+        Stores return their trace record index so a later access that
+        must be ordered after them (see :meth:`vlxe`'s ``after``) can
+        name them.
+        """
         vl = self._require_vl(value, *self._mask_ops(mask))
         idx = np.arange(offset, offset + vl, dtype=np.int64)
-        self._store(value, alloc, idx, VMemPattern.UNIT, "vse", mask)
+        return self._store(value, alloc, idx, VMemPattern.UNIT, "vse", mask)
 
     def vsse(self, value: VReg, alloc: Allocation, offset: int, stride: int,
-             mask: VMask | None = None) -> None:
+             mask: VMask | None = None) -> int:
         """Strided store (stride in elements)."""
         if stride == 0:
             raise IsaError("vsse stride of 0 elements")
         vl = self._require_vl(value, *self._mask_ops(mask))
         idx = offset + stride * np.arange(vl, dtype=np.int64)
-        self._store(value, alloc, idx, VMemPattern.STRIDED, "vsse", mask)
+        return self._store(value, alloc, idx, VMemPattern.STRIDED, "vsse",
+                           mask)
 
     def vsxe(self, value: VReg, alloc: Allocation, index: VReg,
-             mask: VMask | None = None) -> None:
-        """Indexed store (scatter)."""
+             mask: VMask | None = None) -> int:
+        """Indexed store (scatter); returns the trace record index."""
         self._require_vl(value, index, *self._mask_ops(mask))
         if index.is_float:
             raise IsaError("vsxe index register must be integer")
-        self._store(value, alloc, index.data, VMemPattern.INDEXED, "vsxe",
-                    mask, extra_dep=index)
+        return self._store(value, alloc, index.data, VMemPattern.INDEXED,
+                           "vsxe", mask, extra_dep=index)
 
     def _store(self, value: VReg, alloc: Allocation, idx: np.ndarray,
                pattern: VMemPattern, opcode: str, mask: VMask | None,
-               extra_dep: VReg | None = None) -> None:
+               extra_dep: VReg | None = None) -> int:
         vl = self.csr.vl
         view = alloc.view.reshape(-1)
         if mask is not None:
@@ -279,7 +295,7 @@ class VectorContext:
                 view[idx] = value.data.astype(view.dtype)
             addrs = self._addrs(alloc, idx)
             active = vl
-        self._emit(
+        return self._emit(
             VOpClass.MEM, vl, opcode, pattern=pattern,
             addrs=addrs, is_write=True, elem_bytes=alloc.itemsize,
             masked=mask is not None, active=active,

@@ -101,6 +101,10 @@ def _expand_templated(trace: TraceBuffer, maxvl: int,
     # only read at indices freshly written within the same strip)
     pos = np.empty(lvv.shape[0], dtype=np.int64)
 
+    # the most recent levels scatter: slot j+1's levels gather must be
+    # ordered after slot j's scatter (no memory disambiguation in the
+    # machine), so it threads through the slot walk and across strips
+    prev_store = -1
     off = 0
     while off < nf:
         vl = min(nf - off, maxvl)
@@ -182,28 +186,30 @@ def _expand_templated(trace: TraceBuffer, maxvl: int,
             t.vector(VOpClass.MEM, vl, "vlxe", pattern=VMemPattern.INDEXED,
                      flat_addrs=a_levels.addr(nbr_flat[: int(c_off[n_full])]),
                      counts=c_slot[:n_full], masked=True,
-                     active=c_slot[:n_full], dep=Dep.local(1))
+                     active=c_slot[:n_full], dep=Dep.prev(8, prev_store))
             t.vector(VOpClass.MASK, vl, "vmseq", dep=Dep.local(5))
             t.vector(VOpClass.MASK, vl, "vmand", dep=Dep.local(6))
             t.vector(VOpClass.MEM, vl, "vsxe", pattern=VMemPattern.INDEXED,
                      flat_addrs=sc_addrs[: int(sc_off[n_full])],
                      counts=c_sc[:n_full], is_write=True, masked=True,
                      active=c_sc[:n_full], dep=Dep.local(7))
-            t.replicate(n_full)
+            t_start = t.replicate(n_full)
+            prev_store = t_start + (n_full - 1) * len(t) + 8
 
         # last slot: no pipelined next-neighbor load
         trace.emit_scalar_block(_EMPTY_A, _EMPTY_W, ALU_PER_SLOT)
-        i_m = trace.emit_vector(_C_MASK, vl, op_vmsgt, dep=i_ln)
+        trace.emit_vector(_C_MASK, vl, op_vmsgt, dep=i_ln)
         cl = int(c_slot[n_full])
         i_cur = trace.emit_vector(
             _C_MEM, vl, op_vlxe, pattern_id=_P_IDX,
             addrs=a_levels.addr(nbr_flat[c_off[n_full]:]),
-            masked=True, active=cl, dep=i_m)
+            masked=True, active=cl, dep=prev_store)
         i_unv = trace.emit_vector(_C_MASK, vl, op_vmseq, dep=i_cur)
         i_mm = trace.emit_vector(_C_MASK, vl, op_vmand, dep=i_unv)
-        trace.emit_vector(_C_MEM, vl, op_vsxe, pattern_id=_P_IDX,
-                          addrs=sc_addrs[sc_off[n_full]:], is_write=True,
-                          masked=True, active=int(c_sc[n_full]), dep=i_mm)
+        prev_store = trace.emit_vector(
+            _C_MEM, vl, op_vsxe, pattern_id=_P_IDX,
+            addrs=sc_addrs[sc_off[n_full]:], is_write=True,
+            masked=True, active=int(c_sc[n_full]), dep=i_mm)
         off += vl
 
 
@@ -350,6 +356,9 @@ def bfs_vector(session: Session, g: CsrGraph,
             continue
 
         # --- phase 2: vector expansion ----------------------------------
+        # most recent levels scatter (see _expand_templated): slot j+1's
+        # levels gather is ordered after slot j's scatter
+        prev_store = -1
         off = 0
         while off < nf:
             vl = vec.vsetvl(nf - off)
@@ -377,10 +386,10 @@ def bfs_vector(session: Session, g: CsrGraph,
                     m_next = vec.vmsgt(ln, j + 1)
                     eidx_next = vec.vadd(rb, j + 1)
                     nbr_next = vec.vlxe(a_indices, eidx_next, mask=m_next)
-                cur = vec.vlxe(a_levels, nbr, mask=m)
+                cur = vec.vlxe(a_levels, nbr, mask=m, after=prev_store)
                 unv = vec.vmseq(cur, -1)
                 mm = vec.vmand(m, unv)
-                vec.vsxe(lvlval, a_levels, nbr, mask=mm)
+                prev_store = vec.vsxe(lvlval, a_levels, nbr, mask=mm)
             off += vl
         scl.barrier(f"bfs-expand-end-l{level}")
 

@@ -5,6 +5,12 @@ Chrome/Perfetto ``trace_event`` dump — and validates it against the
 matching schema. Exits non-zero on the first invalid or unrecognizable
 file, so CI can assert that exported artifacts are well-formed without
 any extra tooling.
+
+Diagnosis rides on the shared :mod:`repro.lint` findings pipeline
+(rules ``O001``-``O004``): :func:`check_artifacts` returns a
+:class:`repro.lint.findings.FindingsReport` with the same severity and
+exit-code model as every other lint pass, and the CLI here is a thin
+fail-fast wrapper over it.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from __future__ import annotations
 import json
 import sys
 
+from repro.lint.findings import Finding, FindingsReport
+from repro.lint.rules import finding
 from repro.obs.manifest import MANIFEST_SCHEMA, validate_manifest
 from repro.obs.perfetto import validate_trace_events
 
@@ -37,6 +45,48 @@ def check_file(path: str) -> str:
     )
 
 
+def check_file_finding(path: str) -> tuple[str | None, Finding | None]:
+    """Findings-pipeline view of one artifact: ``(kind, finding)``.
+
+    Exactly one of the two is non-None: a recognized, valid artifact
+    yields its kind; anything else yields an O0xx ERROR finding. The
+    rule follows the stage that rejected the file, not its message:
+    unreadable/unparseable -> O004, unrecognized shape -> O001,
+    manifest validation -> O002, trace-event validation -> O003.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return None, finding("O004", path, str(exc))
+    if isinstance(data, dict) and data.get("schema") == MANIFEST_SCHEMA:
+        try:
+            validate_manifest(data)
+        except ValueError as exc:
+            return None, finding("O002", path, str(exc))
+        return "manifest", None
+    if isinstance(data, dict) and "traceEvents" in data:
+        try:
+            validate_trace_events(data)
+        except ValueError as exc:
+            return None, finding("O003", path, str(exc))
+        return "trace", None
+    msg = ("top level must be a JSON object" if not isinstance(data, dict)
+           else f"neither a {MANIFEST_SCHEMA} manifest nor a "
+                "trace_event dump")
+    return None, finding("O001", path, msg)
+
+
+def check_artifacts(paths: list[str]) -> FindingsReport:
+    """Validate many artifacts into one findings report (never raises)."""
+    report = FindingsReport()
+    for path in paths:
+        _, bad = check_file_finding(path)
+        if bad is not None:
+            report.add(bad)
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else list(argv)
     if not args:
@@ -44,11 +94,10 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     for path in args:
-        try:
-            kind = check_file(path)
-        except (OSError, ValueError, json.JSONDecodeError) as exc:
-            print(f"FAIL {path}: {exc}", file=sys.stderr)
-            return 1
+        kind, bad = check_file_finding(path)
+        if bad is not None:
+            print(f"FAIL {path}: {bad.message}", file=sys.stderr)
+            return FindingsReport([bad]).exit_code()
         print(f"ok   {path} ({kind})")
     return 0
 

@@ -32,6 +32,7 @@ order with the same fields — the property tests in
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -92,6 +93,47 @@ def _normalize_dep(dep) -> Dep:
 
 
 _DEP_NONE = Dep(_D_NONE)
+
+
+@dataclass(frozen=True)
+class TemplateSnapshot:
+    """One ``replicate()`` call, frozen for offline analysis.
+
+    ``scal``/``var``/``strs`` are the template's recorded per-slot tuples
+    (see the ``_K_*``/``_V_*`` column layouts below); ``n_iters`` is the
+    replication count and ``start`` the absolute index of the first
+    emitted record. The static analyzer (:mod:`repro.lint.trace_rules`)
+    consumes these to re-derive every iteration's address streams
+    symbolically and prove the declared deps cover the hazards.
+    """
+
+    scal: tuple[tuple, ...]
+    var: tuple[tuple, ...]
+    strs: tuple[str, ...]
+    n_iters: int
+    start: int
+
+
+#: when not None, every replicate() appends its TemplateSnapshot here.
+_CAPTURE: list[TemplateSnapshot] | None = None
+
+
+@contextmanager
+def capture_replications():
+    """Record every template replication in the ``with`` body.
+
+    Yields the list the snapshots accumulate into. Nesting restores the
+    previous capture list on exit; the costs when no capture is active
+    are a single ``is not None`` test per replicate call.
+    """
+    global _CAPTURE
+    prev = _CAPTURE
+    log: list[TemplateSnapshot] = []
+    _CAPTURE = log
+    try:
+        yield log
+    finally:
+        _CAPTURE = prev
 
 
 def _per_iter(value, n: int, name: str) -> tuple[bool, object]:
@@ -244,6 +286,10 @@ class TraceTemplate:
         m = n * T
         start = len(self.trace)
         var = self._var
+        if _CAPTURE is not None:
+            _CAPTURE.append(TemplateSnapshot(
+                tuple(self._scal), tuple(self._var), tuple(self._strs),
+                n, start))
 
         # pass 1: one (T, 15) prototype row block in _COL_DTYPES order,
         # tiled whole — a single np.tile covers every per-slot-constant

@@ -124,6 +124,32 @@ class TestTraceCache:
             trace_cache_path(tmp_path, spec.name, workload, 8, sdv,
                              spec=edited)
 
+    def test_template_machinery_edit_invalidates_cache(self, monkeypatch):
+        # the cache key must cover the trace-template machinery (Dep
+        # semantics, replicate fixups, emission mode), not just the
+        # kernel emitters: an edit there changes every recorded dep and
+        # address column without touching any kernels/ file
+        import inspect as real_inspect
+
+        import repro.core.sweeps as sweeps_mod
+        from repro.core.sweeps import kernel_fingerprint
+
+        spec = KERNELS["fft"]
+        base = kernel_fingerprint(spec)
+        assert base == kernel_fingerprint(spec)  # deterministic
+
+        real_getsource = real_inspect.getsource
+
+        def edited_getsource(obj):
+            src = real_getsource(obj)
+            if getattr(obj, "__name__", "") == "repro.trace.template":
+                return src + "\n# Dep.prev now steps by 2 iterations\n"
+            return src
+
+        monkeypatch.setattr(sweeps_mod.inspect, "getsource",
+                            edited_getsource)
+        assert kernel_fingerprint(spec) != base
+
     def test_cache_key_distinguishes_vl_and_workload(self, tmp_path):
         spec = KERNELS["fft"]
         w7 = spec.prepare(get_scale("smoke"), 7)

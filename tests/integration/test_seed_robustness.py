@@ -24,9 +24,10 @@ def test_latency_shape_across_seeds(kernel, seed):
     assert table["scalar"][-1] > table["vl64"][-1] * 0.9
     assert table["scalar"][-1] > table["vl256"][-1] * 0.9
     # vl256 wins outright under latency pressure; at base the tiny smoke
-    # workloads leave it within strip-overhead distance of scalar
+    # workloads leave it within strip-overhead distance of scalar (BFS
+    # also pays the declared scatter->gather ordering per edge slot)
     assert result.series("vl256")[1] < result.series("scalar")[1]
-    assert result.series("vl256")[0] < result.series("scalar")[0] * 1.3
+    assert result.series("vl256")[0] < result.series("scalar")[0] * 1.5
 
 
 @pytest.mark.parametrize("seed", SEEDS)

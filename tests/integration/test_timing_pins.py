@@ -18,7 +18,7 @@ PINS = {
     ("spmv", "scalar"): (33680.0, 367760.0),
     ("spmv", "vl256"): (3914.0, 14290.5),
     ("bfs", "scalar"): (8962.0, 80130.0),
-    ("bfs", "vl256"): (9750.0, 54847.953125),
+    ("bfs", "vl256"): (12287.0, 56879.234375),
     ("pagerank", "scalar"): (10865.5, 100721.5),
     ("pagerank", "vl256"): (2206.5, 13484.21875),
     ("fft", "scalar"): (5663.0, 31263.0),

@@ -1,0 +1,98 @@
+"""The findings pipeline: severities, filtering, rendering, exit codes."""
+
+import json
+
+import pytest
+
+from repro.lint.findings import (
+    REPORT_SCHEMA,
+    Finding,
+    FindingsReport,
+    Severity,
+)
+from repro.lint.rules import RULES, finding, get_rule, render_catalog
+
+
+def _f(rule="T001", sev=Severity.ERROR, loc="x", msg="m", hint=""):
+    return Finding(rule, sev, loc, msg, hint)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert max(Severity.WARNING, Severity.ERROR) is Severity.ERROR
+
+    def test_renders_bare_name(self):
+        assert str(Severity.ERROR) == "ERROR"
+
+
+class TestFinding:
+    def test_render_carries_rule_location_and_hint(self):
+        text = _f(hint="declare Dep.prev").render()
+        assert "T001" in text and "x: m" in text
+        assert "[hint: declare Dep.prev]" in text
+
+    def test_to_dict_omits_empty_hint(self):
+        assert "hint" not in _f().to_dict()
+        assert _f(hint="h").to_dict()["hint"] == "h"
+
+
+class TestReport:
+    def test_exit_code_is_one_iff_error(self):
+        assert FindingsReport().exit_code() == 0
+        warn = FindingsReport([_f(sev=Severity.WARNING)])
+        assert warn.exit_code() == 0
+        assert FindingsReport([_f()]).exit_code() == 1
+
+    def test_ignoring_drops_by_rule(self):
+        rep = FindingsReport([_f("T001"), _f("T005", Severity.WARNING)])
+        kept = rep.ignoring(["T001"])
+        assert [f.rule for f in kept] == ["T005"]
+        assert kept.exit_code() == 0
+        # the original is untouched
+        assert len(rep) == 2
+
+    def test_render_text_orders_most_severe_first(self):
+        rep = FindingsReport([_f("T005", Severity.WARNING),
+                              _f("T001", Severity.ERROR)])
+        lines = rep.render_text().splitlines()
+        assert lines[0].startswith("ERROR")
+        assert lines[1].startswith("WARNING")
+        assert "2 findings" in lines[-1]
+
+    def test_empty_report_renders_clean(self):
+        assert "clean" in FindingsReport().render_text()
+
+    def test_json_schema_and_counts(self):
+        rep = FindingsReport([_f(), _f("T005", Severity.WARNING)])
+        doc = json.loads(rep.to_json())
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["counts"]["ERROR"] == 1
+        assert doc["counts"]["WARNING"] == 1
+        assert doc["exit_code"] == 1
+        assert len(doc["findings"]) == 2
+
+
+class TestCatalog:
+    def test_every_rule_resolves(self):
+        for rid, rule in RULES.items():
+            assert get_rule(rid) is rule
+            assert rule.severity in tuple(Severity)
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            get_rule("Z999")
+
+    def test_finding_defaults_severity_from_catalog(self):
+        f = finding("T005", "loc", "msg")
+        assert f.severity is Severity.WARNING
+        assert finding("T001", "loc", "msg").severity is Severity.ERROR
+
+    def test_finding_severity_override(self):
+        f = finding("T001", "loc", "msg", severity=Severity.WARNING)
+        assert f.severity is Severity.WARNING
+
+    def test_catalog_renders_every_id(self):
+        text = render_catalog()
+        for rid in RULES:
+            assert rid in text

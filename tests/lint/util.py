@@ -1,0 +1,78 @@
+"""Synthetic-template helpers shared by the lint tests.
+
+Every test builds a tiny strip-mined loop the way the kernels do —
+record one iteration on a :class:`TraceTemplate`, then ``replicate`` it
+under :func:`capture_replications` — so the analyzer sees exactly the
+artifact it sees in production, just with a planted (or deliberately
+absent) hazard.
+"""
+
+import numpy as np
+
+from repro.trace.events import TraceBuffer, VMemPattern, VOpClass
+from repro.trace.template import (
+    TemplateSnapshot,
+    TraceTemplate,
+    capture_replications,
+)
+
+D = 8        # bytes per double
+STRIP = 8    # elements per strip iteration
+STRIDE = STRIP * D  # bytes one iteration advances
+
+
+def offsets(n_iters: int, stride: int = STRIDE) -> np.ndarray:
+    """Per-iteration byte offsets of a dense strip-mined stream."""
+    return np.arange(n_iters, dtype=np.int64) * stride
+
+
+def lane_block(base: int) -> np.ndarray:
+    """One iteration's lane addresses: STRIP consecutive doubles."""
+    return base + np.arange(STRIP, dtype=np.int64) * D
+
+
+def mem(tpl: TraceTemplate, base: int, n: int, *, write: bool,
+        dep=None, stride: int = STRIDE) -> int:
+    """Template slot: one affine unit-stride vector load/store."""
+    return tpl.vector(
+        VOpClass.MEM, STRIP, "vse" if write else "vle",
+        pattern=VMemPattern.UNIT, base_addrs=lane_block(base),
+        iter_offsets=offsets(n, stride), is_write=write, dep=dep)
+
+
+def replicate(build, n_iters: int = 8):
+    """Record one template via ``build(tpl, n_iters)`` and replicate it.
+
+    Returns the captured :class:`TemplateSnapshot` and the trace buffer.
+    """
+    trace = TraceBuffer()
+    tpl = TraceTemplate(trace)
+    build(tpl, n_iters)
+    with capture_replications() as snaps:
+        tpl.replicate(n_iters)
+    assert len(snaps) == 1
+    return snaps[0], trace
+
+
+def snapshot_of(build, n_iters: int = 8) -> TemplateSnapshot:
+    """Freeze a template into a snapshot WITHOUT expanding it.
+
+    ``replicate()`` validates deps eagerly and would refuse some of the
+    malformed templates the analyzer must also diagnose offline (e.g. a
+    snapshot deserialized from another run), so structural-dep tests
+    build the snapshot directly.
+    """
+    tpl = TraceTemplate(TraceBuffer())
+    build(tpl, n_iters)
+    return TemplateSnapshot(tuple(tpl._scal), tuple(tpl._var),
+                            tuple(tpl._strs), n_iters, 0)
+
+
+def rules_of(findings) -> list[str]:
+    return sorted(f.rule for f in findings)
+
+
+def error_rules(findings) -> list[str]:
+    from repro.lint.findings import Severity
+    return sorted(f.rule for f in findings
+                  if f.severity is Severity.ERROR)
