@@ -1,20 +1,23 @@
-"""Simulator-performance benches: the three timing engines themselves.
+"""Simulator-performance benches: the four timing engines themselves.
 
 Not a paper figure — these regression-anchor the tool: the fast engine must
-stay orders of magnitude quicker than the event engine (it is what makes
+stay orders of magnitude quicker than the DES pair (it is what makes
 whole-paper sweeps practical), the batch engine must beat per-point fast
 re-timing by a wide margin (it is what makes *paper-scale* sweeps cheap),
-classification must amortize across sweep points, and the engines must
-agree on the headline quantity.
+the array-backed event engine must hold its throughput lead over the
+coroutine reference (it is what makes DES-grade timelines and attribution
+spot checks routine), classification must amortize across sweep points,
+and the engines must agree on the headline quantity.
 """
 
+import os
 import time
 
 import pytest
 from conftest import LATENCIES, write_result
 
 from repro.core.sweeps import run_implementation
-from repro.engine import simulate_events, simulate_fast
+from repro.engine import simulate_events, simulate_events_fast, simulate_fast
 from repro.engine.batch_sim import batch_cycles
 from repro.kernels import KERNELS
 
@@ -108,3 +111,59 @@ def test_bench_batch_vs_fast_retiming_throughput(spmv_sweep_setup):
     ]
     write_result("engine_retiming_throughput", "\n".join(lines))
     assert speedup >= 5.0, f"batch engine only {speedup:.1f}x over fast"
+
+
+# Minimum event/event-ref speedup per scale. Because both engines run on the
+# same interpreter the ratio is machine-independent; below 0.8x of these
+# fails — that is a real regression, not timer noise. Baselines are the
+# observed min-of-3 ratios on the SpMV vl256 trace, rounded down.
+_DES_BASELINE_SPEEDUP = {"ci": 5.5, "paper": 10.0}
+
+
+def test_bench_event_fast_vs_ref_throughput(spmv_sweep_setup):
+    """Record the DES headline: the array-backed engine vs the coroutine ref.
+
+    SpMV vl256 is the line-traffic-heavy case — gather/scatter misses keep
+    the line-request pipeline (MSHR grants, bank arbitration, NoC hops,
+    response fan-out) saturated, which is exactly the token stream the
+    calendar-queue engine exists to make cheap. Both engines consume the
+    same shared EventPlan and must return bit-identical reports, so the
+    ratio isolates pure scheduling overhead.
+    """
+    sdv, trace, _, _ = spmv_sweep_setup
+    ct = sdv.classify(trace)
+    scale_name = os.environ.get("REPRO_BENCH_SCALE", "ci")
+
+    ref = simulate_events(ct)            # also warms the shared plan cache
+    fast = simulate_events_fast(ct)
+    assert fast.cycles == ref.cycles     # the bit-exactness contract
+    assert fast.meta == ref.meta
+
+    reps = 3
+    ref_s = min(_timed(simulate_events, ct) for _ in range(reps))
+    fast_s = min(_timed(simulate_events_fast, ct) for _ in range(reps))
+
+    speedup = ref_s / fast_s
+    n = len(ct.trace)
+    lines = [
+        f"SpMV vl256 DES throughput ({n} records, scale={scale_name})",
+        f"  event-ref : {ref_s * 1e3:9.2f} ms/run "
+        f"({n / ref_s:10.0f} records/s)",
+        f"  event     : {fast_s * 1e3:9.2f} ms/run "
+        f"({n / fast_s:10.0f} records/s)",
+        f"  speedup   : {speedup:.2f}x",
+    ]
+    write_result("engine_des_throughput", "\n".join(lines))
+
+    baseline = _DES_BASELINE_SPEEDUP.get(scale_name)
+    if baseline is not None:
+        assert speedup >= 0.8 * baseline, (
+            f"event engine only {speedup:.2f}x over event-ref at "
+            f"scale={scale_name}; committed baseline is {baseline}x "
+            f"(>20% regression)")
+
+
+def _timed(fn, ct):
+    t0 = time.perf_counter()
+    fn(ct)
+    return time.perf_counter() - t0

@@ -57,6 +57,7 @@ from repro.engine import (
     lower_trace,
     simulate_batch,
     simulate_events,
+    simulate_events_fast,
     simulate_fast,
 )
 from repro.engine.noise import MeasuredValue, NoiseModel, measure
@@ -99,6 +100,7 @@ __all__ = [
     "lower_trace",
     "simulate_batch",
     "simulate_events",
+    "simulate_events_fast",
     "simulate_fast",
     "SuiteResult",
     "render_report",

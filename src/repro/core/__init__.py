@@ -18,7 +18,12 @@ the paper's figures/tables:
 """
 
 from repro.core.measurements import Measurement, SweepResult
-from repro.core.parallel import default_jobs, resolve_jobs, run_tasks
+from repro.core.parallel import (
+    default_jobs,
+    resolve_jobs,
+    run_tasks,
+    shutdown_pool,
+)
 from repro.core.sweeps import (
     DEFAULT_BANDWIDTHS,
     DEFAULT_LATENCIES,
@@ -65,6 +70,7 @@ __all__ = [
     "resolve_jobs",
     "run_implementation",
     "run_tasks",
+    "shutdown_pool",
     "vl_sweep",
     "workload_fingerprint",
     "figure3_series",

@@ -11,17 +11,30 @@ spec from the :data:`repro.kernels.KERNELS` registry, and return only the
 finished :class:`repro.core.measurements.Measurement` rows — traces never
 cross the process boundary (they are large; measurements are tiny).
 
+The worker pool is **persistent**: the first parallel ``run_tasks`` call
+spawns it, and later calls with the same shape (worker count, initializer)
+reuse the same processes. A figure suite — latency sweep, then bandwidth
+sweep, then attribution ladders over the same kernels — therefore pays
+interpreter start-up and module import once, and per-worker caches
+installed by the ``initializer`` (e.g. the sweep harness's loaded-trace
+memo, :func:`repro.core.sweeps._sweep_worker_init`) stay warm across
+figures. ``shutdown_pool`` tears it down explicitly; it is also
+registered with :mod:`atexit`.
+
 ``run_tasks`` degrades gracefully: if the platform cannot spawn worker
-processes (sandboxes without fork/semaphores) or a worker pool fails to
-come up, it falls back to in-process execution so ``jobs=N`` is always
-safe to request.
+processes (sandboxes without fork/semaphores) or the pool dies mid-run
+(a worker was OOM-killed), it rebuilds the pool once and, failing that,
+falls back to in-process execution so ``jobs=N`` is always safe to
+request.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from typing import TypeVar
 
 T = TypeVar("T")
@@ -40,9 +53,43 @@ def resolve_jobs(jobs: int) -> int:
     return max(1, jobs)
 
 
+#: the one live pool, as (shape key, executor); replaced when a call asks
+#: for a different shape, torn down at interpreter exit
+_pool: tuple[tuple, ProcessPoolExecutor] | None = None
+
+
+def _get_pool(workers: int, initializer, initargs) -> ProcessPoolExecutor:
+    global _pool
+    key = (workers, initializer, initargs)
+    if _pool is not None:
+        if _pool[0] == key:
+            return _pool[1]
+        _pool[1].shutdown(wait=False, cancel_futures=True)
+        _pool = None
+    pool = ProcessPoolExecutor(max_workers=workers,
+                               initializer=initializer,
+                               initargs=initargs)
+    _pool = (key, pool)
+    return pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (no-op if none is live)."""
+    global _pool
+    if _pool is not None:
+        pool = _pool[1]
+        _pool = None
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pool)
+
+
 def run_tasks(fn: Callable[[T], R], tasks: Sequence[T], *,
               jobs: int = 1,
-              on_result: Callable[[int, R], None] | None = None) -> list[R]:
+              on_result: Callable[[int, R], None] | None = None,
+              initializer: Callable[..., None] | None = None,
+              initargs: tuple = ()) -> list[R]:
     """``[fn(t) for t in tasks]``, fanned across ``jobs`` processes.
 
     Results come back in task order. ``fn`` and every task must be
@@ -53,11 +100,19 @@ def run_tasks(fn: Callable[[T], R], tasks: Sequence[T], *,
     ``on_result(task_index, result)`` fires in the parent as each task
     finishes, in *completion* order — the sweep harness uses it for
     progress heartbeats while slower workers are still running.
+
+    ``initializer(*initargs)`` runs once in each worker process when the
+    pool comes up (and in-process before a serial run), so it must be
+    idempotent. Calls with the same ``(jobs, initializer, initargs)``
+    shape reuse the persistent pool — and with it whatever per-process
+    state the initializer set up.
     """
     jobs = resolve_jobs(jobs)
     tasks = list(tasks)
 
     def _serial() -> list[R]:
+        if initializer is not None:
+            initializer(*initargs)
         out = []
         for i, t in enumerate(tasks):
             r = fn(t)
@@ -68,14 +123,26 @@ def run_tasks(fn: Callable[[T], R], tasks: Sequence[T], *,
 
     if jobs <= 1 or len(tasks) <= 1:
         return _serial()
+
+    def _dispatch() -> list[R]:
+        pool = _get_pool(jobs, initializer, initargs)
+        futures = [pool.submit(fn, t) for t in tasks]
+        if on_result is not None:
+            index = {f: i for i, f in enumerate(futures)}
+            for f in as_completed(futures):
+                on_result(index[f], f.result())
+        return [f.result() for f in futures]
+
     try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            futures = [pool.submit(fn, t) for t in tasks]
-            if on_result is not None:
-                index = {f: i for i, f in enumerate(futures)}
-                for f in as_completed(futures):
-                    on_result(index[f], f.result())
-            return [f.result() for f in futures]
-    except (OSError, PermissionError, NotImplementedError):
-        # no fork/semaphores available (restricted sandbox): run serially
+        try:
+            return _dispatch()
+        except BrokenProcessPool:
+            # a worker died mid-run; rebuild the pool and retry once
+            shutdown_pool()
+            return _dispatch()
+    except (OSError, PermissionError, NotImplementedError,
+            BrokenProcessPool):
+        # no fork/semaphores available (restricted sandbox) or the pool
+        # died twice: run serially
+        shutdown_pool()
         return _serial()

@@ -6,6 +6,23 @@ substrate: an :class:`Environment` with a time-ordered event heap,
 generator-based :class:`Process` coroutines that ``yield`` events, and a
 FIFO :class:`Resource` for contended units.
 
+Time is counted in **integer cycles**. Hardware schedules on clock edges,
+and fractional timestamps were the one source of float-comparison drift
+between this kernel and the array-backed fast engine
+(:mod:`repro.engine.event_fast`), which must replay the exact same event
+order. ``_schedule`` therefore rejects non-integral delays; cost models
+quantize their few fractional terms (issue gaps) before they reach the
+kernel.
+
+Two scheduling structures keep the hot path cheap:
+
+* a heap of ``(time, seq, event)`` for future events, and
+* a plain FIFO deque for **same-time** events scheduled while the current
+  timestamp is being processed (the common case: grants, zero-delay
+  succeeds, process completions). Draining it directly avoids the old
+  pop/re-push churn where every zero-delay event took a full heap round
+  trip.
+
 Only the features the event engine needs are implemented — this is not a
 general SimPy replacement, but it is a real DES kernel with deterministic
 FIFO ordering (ties broken by schedule order), which the tests rely on.
@@ -37,7 +54,7 @@ class Event:
             raise EngineError("event already triggered")
         self.triggered = True
         self.value = value
-        self.env._schedule(self, 0.0)
+        self.env._schedule(self, 0)
         return self
 
     def succeed_at(self, time: float, value: Any = None) -> "Event":
@@ -68,7 +85,13 @@ class Timeout(Event):
 
 
 class Process(Event):
-    """A generator coroutine; itself an event that fires on return."""
+    """A generator coroutine; itself an event that fires on return.
+
+    The first slice runs **synchronously** at creation (up to the first
+    ``yield``), so a spawned process observes the machine state at its
+    spawn point — the same convention the array-backed engine's inline
+    state-machine starts follow.
+    """
 
     __slots__ = ("_gen",)
 
@@ -76,20 +99,19 @@ class Process(Event):
                  gen: Generator[Event, Any, Any]) -> None:
         super().__init__(env)
         self._gen = gen
-        # bootstrap on the next tick
-        boot = Event(env)
-        boot.triggered = True
-        boot.callbacks.append(self._resume)
-        env._schedule(boot, 0.0)
+        self._step(None)
 
     def _resume(self, event: Event) -> None:
+        self._step(event.value)
+
+    def _step(self, value: Any) -> None:
         try:
-            target = self._gen.send(event.value)
+            target = self._gen.send(value)
         except StopIteration as stop:
             if not self.triggered:
                 self.triggered = True
                 self.value = stop.value
-                self.env._schedule(self, 0.0)
+                self.env._schedule(self, 0)
             return
         if not isinstance(target, Event):
             raise EngineError(
@@ -102,7 +124,7 @@ class Process(Event):
             boot.triggered = True
             boot.value = target.value
             boot.callbacks.append(self._resume)
-            self.env._schedule(boot, 0.0)
+            self.env._schedule(boot, 0)
         else:
             target.callbacks.append(self._resume)
 
@@ -165,16 +187,28 @@ class Resource:
 
 
 class Environment:
-    """Event loop: a heap of (time, seq, event)."""
+    """Event loop: a heap of (time, seq, event) plus a same-time deque."""
 
     def __init__(self) -> None:
-        self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Event]] = []
         self._seq = 0
         self._fired: set[Event] = set()
+        self._cur: deque[Event] = deque()
+        self._running = False
 
     def _schedule(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        d = int(delay)
+        if d != delay:
+            raise EngineError(
+                f"non-integral delay {delay!r}: the DES kernel runs on "
+                "integer cycles (quantize in the cost model)"
+            )
+        if d == 0 and self._running:
+            # fires within the timestamp currently being drained
+            self._cur.append(event)
+            return
+        heapq.heappush(self._heap, (self.now + d, self._seq, event))
         self._seq += 1
 
     def timeout(self, delay: float) -> Timeout:
@@ -189,24 +223,36 @@ class Environment:
     def all_of(self, events: list[Event]) -> AllOf:
         return AllOf(self, events)
 
+    def _fire(self, event: Event) -> None:
+        self._fired.add(event)
+        callbacks, event.callbacks = event.callbacks, []
+        for cb in callbacks:
+            cb(event)
+        # callbacks may have re-appended (e.g. AllOf children); drain
+        while event.callbacks:
+            cbs, event.callbacks = event.callbacks, []
+            for cb in cbs:
+                cb(event)
+
     def run(self, until: float | None = None) -> None:
         """Process events until the heap drains (or ``until`` is reached)."""
         heap = self._heap
-        while heap:
-            time, _seq, event = heapq.heappop(heap)
-            if until is not None and time > until:
-                self.now = until
-                heapq.heappush(heap, (time, _seq, event))
-                return
-            if time < self.now:
-                raise EngineError("time went backwards")
-            self.now = time
-            self._fired.add(event)
-            callbacks, event.callbacks = event.callbacks, []
-            for cb in callbacks:
-                cb(event)
-            # callbacks may have re-appended (e.g. AllOf children); drain
-            while event.callbacks:
-                cbs, event.callbacks = event.callbacks, []
-                for cb in cbs:
-                    cb(event)
+        cur = self._cur
+        self._running = True
+        try:
+            while heap:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    self.now = int(until)
+                    return
+                if time < self.now:
+                    raise EngineError("time went backwards")
+                self.now = time
+                # heap entries first (schedule order), then the same-time
+                # deque, which collects zero-delay events as they appear
+                while heap and heap[0][0] == time:
+                    self._fire(heapq.heappop(heap)[2])
+                while cur:
+                    self._fire(cur.popleft())
+        finally:
+            self._running = False

@@ -1,4 +1,4 @@
-"""Discrete-event reference engine.
+"""Discrete-event reference engine (coroutine backend, ``event-ref``).
 
 Models the FPGA-SDV as communicating processes on the DES kernel
 (:mod:`repro.engine.des`):
@@ -17,49 +17,53 @@ The hit/miss outcome of every request comes from the classification pass
 (the caches are deterministic state machines, so there is no point
 re-simulating them here); what this engine adds over the fast engine is
 *queueing*: real per-bank contention, real limiter windows, real MSHR and
-decoupled-queue occupancy. The cross-validation tests assert the two agree.
+decoupled-queue occupancy.
 
-This engine is O(events) in Python and is intended for validation and
-detailed study of small/medium traces, not for full paper-scale sweeps.
+All per-record cost inputs come from the shared
+:class:`repro.engine.event_common.EventPlan`, which also pre-quantizes the
+fractional issue gaps onto the kernel's integer-cycle clock. The
+array-backed engine (:mod:`repro.engine.event_fast`, registered as
+``engine="event"``) replays the **same schedule** without coroutines and
+must agree with this one bit for bit; this backend stays registered as
+``engine="event-ref"`` as the executable specification and for
+differential debugging. It is O(events) in Python generators and is the
+slowest engine — use it to validate, not to sweep.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.engine import core_model, vpu_model
 from repro.engine.des import Environment, Event, Resource
+from repro.engine.event_common import EventPlan, event_plan
+from repro.engine.lower import (
+    LKIND_BARRIER,
+    LKIND_CSR,
+    LKIND_SCALAR,
+    LKIND_VARITH,
+    LKIND_VMEM,
+)
 from repro.engine.results import CycleReport
 from repro.errors import EngineError
 from repro.memory.bandwidth_limiter import BandwidthLimiter
+from repro.memory.classify import AccessLevel, ClassifiedTrace
 from repro.memory.latency_controller import LatencyController
-from repro.memory.classify import (
-    KIND_BARRIER,
-    KIND_SCALAR,
-    KIND_VARITH,
-    KIND_VMEM,
-    AccessLevel,
-    ClassifiedTrace,
-    _coalesce_lines,
-)
 from repro.memory.noc import MeshNoc
-from repro.trace.events import ScalarBlock, VectorInstr, VMemPattern, VOpClass
-from repro.util.mathx import log2_int
-from repro.util.units import LINE_BYTES
 
-_OPCLASS = list(VOpClass)
-_PATTERN = list(VMemPattern)
-_LINE_SHIFT = log2_int(LINE_BYTES)
+# integer-cycle core costs (see core_model for the rationale/values)
+_DISPATCH = int(core_model.VECTOR_DISPATCH_CYCLES)
+_VSETVL = int(core_model.VSETVL_CYCLES)
+_TRANSFER = int(core_model.SCALAR_RESULT_TRANSFER_CYCLES)
+_DRAM = int(AccessLevel.DRAM)
+_L1 = int(AccessLevel.L1)
 
 
 class _Machine:
     """All simulation state for one run."""
 
-    def __init__(self, ct: ClassifiedTrace, *, timeline=None) -> None:
-        self.ct = ct
+    def __init__(self, ct: ClassifiedTrace, plan: EventPlan, *,
+                 timeline=None) -> None:
+        self.plan = plan
         self.config = ct.config
-        self.rows = ct.rows
-        self.records = ct.trace.records
         self.env = Environment()
         self.timeline = timeline
         cfg = self.config
@@ -68,30 +72,37 @@ class _Machine:
         self.latency_ctl = LatencyController(cfg.mem.extra_latency_cycles)
         self.noc = MeshNoc(cfg.noc)
         self.bank_wait_cycles = 0.0  # queueing at the L2 bank ports
-        self.bank_ports = [Resource(self.env, 1) for _ in range(cfg.l2.banks)]
+        # analytic unit-rate bank port servers: the k-th arrival at a bank
+        # is granted at max(arrival, previous grant + 1) — exactly a FIFO
+        # Resource(1) held for one cycle, without two event hops per line
+        self.bank_free = [0] * cfg.l2.banks
+        self.access = int(cfg.l2.access_cycles)
+        self.dram_service = int(cfg.mem.dram_service_cycles)
+        self.l1_hit = int(cfg.core.l1_hit_cycles)
+        self.arith_lat = int(vpu_model.arith_latency(cfg))
+        self.n_banks = cfg.l2.banks
+        self.nodes = cfg.noc.nodes
+
         self.arith_pipe = Resource(self.env, 1)
         self.agu = Resource(self.env, 1)
         self.mem_slots = Resource(self.env, cfg.vpu.mem_queue_depth)
         self.line_mshrs = Resource(self.env, cfg.vpu.line_mshrs)
 
-        n = self.rows.shape[0]
+        n = plan.n
         self.done_ev: list[Event] = [self.env.event() for _ in range(n)]
         self.chain_ev: list[Event] = [self.env.event() for _ in range(n)]
-        self.done_time = np.full(n, -1.0)
+        self.done_time = [-1] * n
         self.pending: set[int] = set()
 
-        # breakdown accumulators
-        self.acc_issue = 0.0
-        self.acc_stall = 0.0
-        self.acc_varith = 0.0
-        self.acc_vmem = 0.0
-        self.dram_reads = int(self.rows["dram_reads"].sum()
-                              + self.rows["pf_dram_reads"].sum())
-        self.dram_writes = int(self.rows["dram_writes"].sum())
+        # breakdown accumulators (only ever add integers: order-exact)
+        self.acc_issue = 0
+        self.acc_stall = 0
+        self.acc_varith = 0
+        self.acc_vmem = 0
 
     # ------------------------------------------------------------ memory path
 
-    def line_request(self, bank: int, level: int, *, pre_delay: float = 0.0,
+    def line_request(self, bank: int, level: int, *, pre_delay: int = 0,
                      resp_ev: Event | None = None, vector: bool = False):
         """One 64-byte read request: NoC → bank port → (DRAM) → response.
 
@@ -103,28 +114,29 @@ class _Machine:
         if pre_delay > 0:
             yield env.timeout(pre_delay)
         mshr_held = False
-        if vector and level == AccessLevel.DRAM:
-            grant = self.line_mshrs.request()
-            yield grant
+        if vector and level == _DRAM:
+            yield self.line_mshrs.request()
             mshr_held = True
-        bank_node = bank % self.config.noc.nodes
+        bank_node = bank % self.nodes
         yield env.timeout(self.noc.record_message(self.noc.core_node,
                                                   bank_node))
-        t_req = env.now
-        grant = self.bank_ports[bank].request()
-        yield grant
-        self.bank_wait_cycles += env.now - t_req
-        yield env.timeout(1.0)  # pipelined bank port occupancy
-        self.bank_ports[bank].release()
-        yield env.timeout(self.config.l2.access_cycles - 1.0)
-        if level == AccessLevel.DRAM:
-            admit = self.limiter.admit(env.now)
-            if admit > env.now:
-                yield env.timeout(admit - env.now)
-            yield env.timeout(self.latency_ctl.delay(env.now) - env.now
-                              + self.config.mem.dram_service_cycles)
-        yield env.timeout(self.noc.record_message(bank_node,
-                                                  self.noc.core_node))
+        now = env.now
+        grant = self.bank_free[bank]
+        if grant < now:
+            grant = now
+        self.bank_free[bank] = grant + 1
+        self.bank_wait_cycles += grant - now
+        wait_access = grant - now + self.access
+        if level == _DRAM:
+            yield env.timeout(wait_access)
+            now = env.now
+            admit = int(self.limiter.admit(now))
+            extra = int(self.latency_ctl.delay(admit)) - admit
+            back = self.noc.record_message(bank_node, self.noc.core_node)
+            yield env.timeout(admit - now + extra + self.dram_service + back)
+        else:
+            back = self.noc.record_message(bank_node, self.noc.core_node)
+            yield env.timeout(wait_access + back)
         if mshr_held:
             self.line_mshrs.release()
         if resp_ev is not None and not resp_ev.triggered:
@@ -134,12 +146,11 @@ class _Machine:
         """Fire-and-forget write transaction (consumes limiter bandwidth)."""
         env = self.env
         yield env.timeout(self.noc.record_message(
-            self.noc.core_node, bank % self.config.noc.nodes))
-        admit = self.limiter.admit(env.now)
-        if admit > env.now:
-            yield env.timeout(admit - env.now)
-        yield env.timeout(self.latency_ctl.delay(env.now) - env.now
-                          + self.config.mem.dram_service_cycles)
+            self.noc.core_node, bank % self.nodes))
+        now = env.now
+        admit = int(self.limiter.admit(now))
+        extra = int(self.latency_ctl.delay(admit)) - admit
+        yield env.timeout(admit - now + extra + self.dram_service)
 
     # -------------------------------------------------------------- dependency
 
@@ -170,41 +181,42 @@ class _Machine:
 
     # ----------------------------------------------------------------- scalar
 
-    def scalar_block(self, i: int, rec: ScalarBlock):
+    def scalar_block(self, i: int, slot: int):
         env = self.env
-        row = self.rows[i]
-        levels = self.ct.levels[i]
-        core = self.config.core
-        n_mem = rec.n_mem_ops
+        plan = self.plan
+        n_mem = plan.sc_n_mem[slot]
 
         if n_mem == 0:
-            issue = rec.n_alu_ops * core.alu_cpi / core.issue_width
+            issue = plan.sc_issue[slot]
             self.acc_issue += issue
             if issue > 0:
                 yield env.timeout(issue)
             return
 
         t_start = env.now
-        lines = rec.mem_addrs >> _LINE_SHIFT
-        p = max(1, min(core.mshrs, rec.mlp_hint))
-        gap = (rec.n_alu_ops * core.alu_cpi / n_mem + 1.0) / core.issue_width
-        self.acc_issue += gap * n_mem
+        steps = plan.sc_steps[slot]
+        levels = plan.sc_levels[slot]
+        banks = plan.sc_banks[slot]
+        p = plan.sc_p[slot]
+        gap_total = plan.sc_gap_total[slot]
+        self.acc_issue += gap_total
 
         outstanding: list[Event] = []
-        wb_left = int(row["dram_writes"])
-        pf_left = int(row["pf_dram_reads"])
+        wb_left = plan.sc_wb[slot]
+        pf_left = plan.sc_pf[slot]
         for j in range(n_mem):
-            yield env.timeout(gap)
-            level = int(levels[j])
-            if level == AccessLevel.L1:
+            if steps[j] > 0:
+                yield env.timeout(steps[j])
+            level = levels[j]
+            if level == _L1:
                 continue
             if len(outstanding) >= p:
                 # FIFO MSHRs: wait for the oldest outstanding miss
                 yield outstanding.pop(0)
-            bank = int(lines[j]) & (self.config.l2.banks - 1)
+            bank = banks[j]
             resp = env.event()
             env.process(self.line_request(
-                bank, level, pre_delay=core.l1_hit_cycles, resp_ev=resp))
+                bank, level, pre_delay=self.l1_hit, resp_ev=resp))
             outstanding.append(resp)
             if wb_left > 0:
                 # attribute the block's writebacks to its earliest misses
@@ -212,89 +224,72 @@ class _Machine:
                 wb_left -= 1
             if pf_left > 0:
                 # prefetcher fill: fire-and-forget read on the same channel
-                env.process(self.dram_writeback((bank + 1)
-                                                % self.config.l2.banks))
+                env.process(self.dram_writeback((bank + 1) % self.n_banks))
                 pf_left -= 1
         for ev in outstanding:
             yield ev
         while wb_left > 0:  # writebacks beyond the miss count (rare)
             env.process(self.dram_writeback(0))
             wb_left -= 1
-        self.acc_stall += env.now - t_start - gap * n_mem
+        self.acc_stall += env.now - t_start - gap_total
 
     # ----------------------------------------------------------------- vector
 
     def varith(self, i: int):
         env = self.env
-        row = self.rows[i]
-        opclass = _OPCLASS[row["opclass"]]
-        grant = self.arith_pipe.request()
-        yield grant
-        dep = int(row["dep"])
+        plan = self.plan
+        yield self.arith_pipe.request()
+        dep = plan.dep[i]
         if dep >= 0:
             yield from self.wait_dep(dep)
         if not self.chain_ev[i].triggered:
             self.chain_ev[i].succeed()  # consumers may chain from our start
-        occ = vpu_model.arith_occupancy(self.config, opclass, int(row["vl"]))
+        occ = plan.va_occ[plan.slot[i]]
         self.acc_varith += occ
         t_busy = env.now
         yield env.timeout(occ)
         self.arith_pipe.release()
         # result becomes visible one pipeline latency after issue completes
-        yield env.timeout(vpu_model.arith_latency(self.config))
+        yield env.timeout(self.arith_lat)
         if dep >= 0:
             yield from self.enforce_floor(dep)
         if self.timeline is not None:
             self.timeline.add("vpu-arith", f"varith[{i}]", t_busy, env.now,
-                              vl=int(row["vl"]), occupancy=occ)
+                              vl=plan.vl[i], occupancy=occ)
         self.finish(i)
 
-    def vmem(self, i: int, rec: VectorInstr):
+    def vmem(self, i: int):
         env = self.env
-        row = self.rows[i]
-        levels = self.ct.levels[i]
-        pattern = _PATTERN[row["pattern"]]
-        cost = vpu_model.vmem_cost(
-            self.config,
-            pattern=pattern,
-            vl=int(row["vl"]),
-            active=int(row["active"]),
-            n_lines=int(row["n_line_reqs"]),
-            dram_reads=int(row["dram_reads"]),
-            dram_writes=int(row["dram_writes"]),
-        )
-        dep = int(row["dep"])
+        plan = self.plan
+        dep = plan.dep[i]
         if self.config.vpu.ooo_mem_issue:
             # OoO memory queue: wait for operands *before* claiming the AGU,
             # so younger independent loads stream past a stalled gather
             if dep >= 0:
                 yield from self.wait_dep(dep)
-            grant = self.agu.request()
-            yield grant
+            yield self.agu.request()
         else:
             # strict in-order issue: hold the AGU through the operand wait
-            grant = self.agu.request()
-            yield grant
+            yield self.agu.request()
             if dep >= 0:
                 yield from self.wait_dep(dep)
 
-        lines = _coalesce_lines(rec.addrs, rec.pattern,
-                                self.config.vpu.coalesce_gathers)
-        n_lines = lines.shape[0]
-        if n_lines != levels.shape[0]:
-            raise EngineError("classified levels misaligned with line requests")
-        issue_gap = (cost.addr_cycles / n_lines) if n_lines else 0.0
+        slot = plan.slot[i]
+        n_lines = plan.vm_n[slot]
+        steps = plan.vm_steps[slot]
+        levels = plan.vm_levels[slot]
+        banks = plan.vm_banks[slot]
         t_busy_start = env.now
 
         responses: list[Event] = []
         first_resp = self.chain_ev[i]
-        wb_left = int(row["dram_writes"])
+        wb_left = plan.vm_wb[slot]
         for j in range(n_lines):
-            if issue_gap > 0:
-                yield env.timeout(issue_gap)
-            bank = int(lines[j]) & (self.config.l2.banks - 1)
+            if steps[j] > 0:
+                yield env.timeout(steps[j])
+            bank = banks[j]
             resp = env.event()
-            env.process(self.line_request(bank, int(levels[j]), resp_ev=resp,
+            env.process(self.line_request(bank, levels[j], resp_ev=resp,
                                           vector=True))
             responses.append(resp)
             if j == 0 and not first_resp.triggered:
@@ -314,8 +309,8 @@ class _Machine:
             yield from self.enforce_floor(dep)
         if self.timeline is not None:
             self.timeline.add("vpu-mem", f"vmem[{i}]", t_busy_start, env.now,
-                              vl=int(row["vl"]), lines=n_lines,
-                              dram_reads=int(row["dram_reads"]))
+                              vl=plan.vl[i], lines=n_lines,
+                              dram_reads=plan.vm_dram[slot])
         self.finish(i)
         self.mem_slots.release()
 
@@ -323,18 +318,18 @@ class _Machine:
 
     def core(self):
         env = self.env
-        rows = self.rows
-        for i, rec in enumerate(self.records):
-            kind = int(rows[i]["kind"])
-            if kind == KIND_SCALAR:
+        plan = self.plan
+        for i in range(plan.n):
+            kind = plan.kind[i]
+            if kind == LKIND_SCALAR:
                 t0 = env.now
-                yield from self.scalar_block(i, rec)
+                yield from self.scalar_block(i, plan.slot[i])
                 if self.timeline is not None:
                     self.timeline.add("scalar-core", f"scalar[{i}]",
                                       t0, env.now)
                 self.finish(i)
                 continue
-            if kind == KIND_BARRIER:
+            if kind == LKIND_BARRIER:
                 waits = [self.done_ev[j] for j in sorted(self.pending)]
                 if waits:
                     yield env.all_of(waits)
@@ -343,53 +338,53 @@ class _Machine:
                                           env.now)
                 self.finish(i)
                 continue
-            opclass = _OPCLASS[rows[i]["opclass"]]
-            if kind == KIND_VARITH and opclass is VOpClass.CSR:
-                yield env.timeout(core_model.VSETVL_CYCLES)
+            if kind == LKIND_CSR:
+                yield env.timeout(_VSETVL)
                 self.finish(i)
                 continue
-            yield env.timeout(core_model.VECTOR_DISPATCH_CYCLES)
-            if kind == KIND_VARITH:
+            yield env.timeout(_DISPATCH)
+            if kind == LKIND_VARITH:
                 self.pending.add(i)
                 env.process(self.varith(i))
-            elif kind == KIND_VMEM:
+            elif kind == LKIND_VMEM:
                 slot = self.mem_slots.request()
                 yield slot  # core stalls while the decoupled queue is full
                 self.pending.add(i)
-                env.process(self.vmem(i, rec))
+                env.process(self.vmem(i))
             else:
                 raise EngineError(f"unknown record kind {kind}")
-            if rows[i]["scalar_dest"]:
+            if plan.scalar_dest[i]:
                 yield self.done_ev[i]
-                yield env.timeout(core_model.SCALAR_RESULT_TRANSFER_CYCLES)
+                yield env.timeout(_TRANSFER)
 
 
 def simulate_events(ct: ClassifiedTrace, *, timeline=None) -> CycleReport:
-    """Run the discrete-event model over a classified trace.
+    """Run the coroutine discrete-event model over a classified trace.
 
     ``timeline`` (a :class:`repro.obs.timeline.TimelineRecorder`) records
     the actual simulated schedule per machine unit. The report's ``meta``
-    carries the memory-path component stats only this engine observes:
+    carries the memory-path component stats only the event engines observe:
     NoC message traffic, Latency Controller injections, Bandwidth Limiter
     throttle delay, and L2 bank-port queueing.
     """
     if timeline is not None:
-        timeline.engine = "event"
-    m = _Machine(ct, timeline=timeline)
+        timeline.engine = "event-ref"
+    plan = event_plan(ct)
+    m = _Machine(ct, plan, timeline=timeline)
     m.env.process(m.core())
     m.env.run()
     return CycleReport(
-        cycles=m.env.now,
-        engine="event",
-        scalar_issue_cycles=m.acc_issue,
-        scalar_stall_cycles=m.acc_stall,
-        vpu_arith_cycles=m.acc_varith,
-        vpu_mem_cycles=m.acc_vmem,
+        cycles=float(m.env.now),
+        engine="event-ref",
+        scalar_issue_cycles=float(m.acc_issue),
+        scalar_stall_cycles=float(m.acc_stall),
+        vpu_arith_cycles=float(m.acc_varith),
+        vpu_mem_cycles=float(m.acc_vmem),
         bandwidth_bound_cycles=0.0,
-        dram_reads=m.dram_reads,
-        dram_writes=m.dram_writes,
+        dram_reads=plan.total_dram_reads,
+        dram_writes=plan.total_dram_writes,
         meta={
-            "records": int(ct.rows.shape[0]),
+            "records": plan.n,
             "noc": m.noc.stats,
             "latency_ctl": m.latency_ctl.stats,
             "limiter": m.limiter.stats,

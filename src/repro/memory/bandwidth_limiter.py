@@ -67,6 +67,20 @@ class BandwidthLimiter:
         engine pops them from a priority queue).
         """
         t = int(request_time)
+        if self._den == 1:
+            # peak rate: one request per 1-cycle window. The window state
+            # collapses to a next-free-cycle counter; the general path
+            # below computes the same result with the same end state.
+            at = self._window_start + self._window_used
+            if at < t:
+                at = t
+            self._window_start = at
+            self._window_used = 1
+            self.admitted += 1
+            d = at - request_time
+            if d > 0.0:
+                self.throttle_cycles += d
+            return float(at)
         window = max(self._window_start, (t // self._den) * self._den)
         if window > self._window_start:
             self._window_start = window

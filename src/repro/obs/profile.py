@@ -23,6 +23,7 @@ from repro.core.sweeps import (
     run_implementation,
     workload_fingerprint,
 )
+from repro.engine.event_fast import simulate_events_fast
 from repro.engine.event_sim import simulate_events
 from repro.engine.fast_sim import simulate_fast
 from repro.engine.results import CycleReport
@@ -153,6 +154,8 @@ def profile_kernel(name: str, *, scale: str = "ci", seed: int = 7,
                 timeline = TimelineRecorder()
                 ct = sdv.classify(trace)
                 if engine == "event":
+                    simulate_events_fast(ct, timeline=timeline)
+                elif engine == "event-ref":
                     simulate_events(ct, timeline=timeline)
                 else:
                     simulate_fast(ct, timeline=timeline)

@@ -10,7 +10,14 @@ import dataclasses
 
 import pytest
 
-from repro.core.parallel import default_jobs, resolve_jobs, run_tasks
+import repro.core.parallel as parallel_mod
+import repro.core.sweeps as sweeps_mod
+from repro.core.parallel import (
+    default_jobs,
+    resolve_jobs,
+    run_tasks,
+    shutdown_pool,
+)
 from repro.core.sweeps import (
     bandwidth_sweep,
     latency_sweep,
@@ -41,6 +48,99 @@ class TestRunTasks:
 
     def test_single_task_runs_inline(self):
         assert run_tasks(_square, [5], jobs=8) == [25]
+
+
+def _init_marker(value):
+    import os
+    os.environ["_REPRO_TEST_POOL_INIT"] = value
+
+
+def _read_marker(_):
+    import os
+    return os.environ.get("_REPRO_TEST_POOL_INIT")
+
+
+class TestPersistentPool:
+    def test_pool_survives_across_calls(self):
+        shutdown_pool()
+        try:
+            run_tasks(_square, [1, 2, 3], jobs=2)
+            first = parallel_mod._pool
+            run_tasks(_square, [4, 5, 6], jobs=2)
+            second = parallel_mod._pool
+            if first is not None:  # pool came up on this platform
+                assert second is first
+        finally:
+            shutdown_pool()
+        assert parallel_mod._pool is None
+
+    def test_pool_replaced_when_shape_changes(self):
+        shutdown_pool()
+        try:
+            run_tasks(_square, [1, 2, 3], jobs=2)
+            first = parallel_mod._pool
+            run_tasks(_square, [1, 2, 3], jobs=3)
+            second = parallel_mod._pool
+            if first is not None and second is not None:
+                assert second is not first
+                assert second[0][0] == 3
+        finally:
+            shutdown_pool()
+
+    def test_initializer_runs_in_workers_and_persists(self):
+        shutdown_pool()
+        try:
+            seen = run_tasks(_read_marker, [0, 1], jobs=2,
+                             initializer=_init_marker, initargs=("warm",))
+            assert seen == ["warm", "warm"]
+            # second call, same shape: same workers, initializer state kept
+            seen = run_tasks(_read_marker, [0, 1], jobs=2,
+                             initializer=_init_marker, initargs=("warm",))
+            assert seen == ["warm", "warm"]
+        finally:
+            shutdown_pool()
+
+    def test_serial_path_runs_initializer_inline(self, monkeypatch):
+        monkeypatch.delenv("_REPRO_TEST_POOL_INIT", raising=False)
+        out = run_tasks(_read_marker, [0], jobs=4,
+                        initializer=_init_marker, initargs=("inline",))
+        assert out == ["inline"]  # single task -> in-process + initializer
+
+
+class TestWorkerTraceMemo:
+    def test_cached_trace_loaded_once_per_process(self, tmp_path,
+                                                  monkeypatch):
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        run_implementation(spec, workload, 8, verify=False,
+                           trace_cache=tmp_path)  # warm the disk cache
+        monkeypatch.setattr(sweeps_mod, "_TRACE_MEMO", {})
+        loads = []
+        real_load = sweeps_mod.load_trace
+
+        def counting_load(path):
+            loads.append(str(path))
+            return real_load(path)
+
+        monkeypatch.setattr(sweeps_mod, "load_trace", counting_load)
+        _, t1 = run_implementation(spec, workload, 8, verify=False,
+                                   trace_cache=tmp_path)
+        _, t2 = run_implementation(spec, workload, 8, verify=False,
+                                   trace_cache=tmp_path)
+        assert len(loads) == 1  # second hit served from the memo
+        assert t2 is t1         # same object -> engine plan caches reused
+
+    def test_memo_is_bounded(self, tmp_path, monkeypatch):
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        monkeypatch.setattr(sweeps_mod, "_TRACE_MEMO", {})
+        monkeypatch.setattr(sweeps_mod, "_TRACE_MEMO_CAP", 2)
+        for vl in (8, 16, 32, 64):
+            run_implementation(spec, workload, vl, verify=False,
+                               trace_cache=tmp_path)   # record
+            run_implementation(spec, workload, vl, verify=False,
+                               trace_cache=tmp_path)   # load + memoize
+        assert len(sweeps_mod._TRACE_MEMO) <= 2
 
 
 class TestParallelSweeps:

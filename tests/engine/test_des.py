@@ -128,9 +128,9 @@ class TestProcesses:
         def bad():
             yield 42
 
-        env.process(bad())
+        # processes start synchronously, so the bad yield trips at spawn
         with pytest.raises(EngineError):
-            env.run()
+            env.process(bad())
 
     def test_waiting_on_already_fired_event(self):
         env = Environment()

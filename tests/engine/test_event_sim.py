@@ -103,6 +103,6 @@ class TestBasics:
             vec.vfadd(v, 1.0)
             scl.emit_alu(10)
         r = run_program(build)
-        assert r.engine == "event"
+        assert r.engine == "event-ref"
         assert r.vpu_arith_cycles > 0
         assert r.scalar_issue_cycles > 0
