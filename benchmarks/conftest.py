@@ -66,3 +66,36 @@ def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n")
+
+
+LEDGER_PATH = RESULTS_DIR / "ledger.jsonl"
+
+
+def record_ledger(bench: str, metric: str, value: float, *,
+                  unit: str = "ratio", scale: str | None = None,
+                  attrs: dict | None = None):
+    """Judge ``value`` against the committed ledger history, then append
+    it as a new record.
+
+    Returns the detector :class:`repro.obs.ledger.Verdict` — the verdict
+    is computed against the history *before* this run's record lands, so
+    a bench cannot pass by comparing against itself. Callers that get an
+    ``insufficient`` verdict (fresh clone, new series) fall back to their
+    legacy fixed-constant baseline so there is always a perf bar.
+    """
+    from repro.obs.ledger import (
+        append_record,
+        build_record,
+        check_series,
+        load_ledger,
+    )
+
+    scale = scale or os.environ.get("REPRO_BENCH_SCALE", "ci")
+    history = load_ledger(LEDGER_PATH)
+    verdict = check_series(history, bench, metric, scale, value)
+    append_record(LEDGER_PATH, build_record(
+        bench=bench, metric=metric, value=value, unit=unit, scale=scale,
+        attrs=attrs))
+    print(f"[ledger] {bench}:{metric} [{scale}] = {value:.3g} "
+          f"-> {verdict.status}: {verdict.reason}")
+    return verdict

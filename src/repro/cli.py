@@ -94,6 +94,12 @@ def _add_emit(p: argparse.ArgumentParser) -> None:
                    help="write a Chrome/Perfetto trace_event JSON dump of "
                         "the harness spans (and engine timelines for "
                         "'profile')")
+    p.add_argument("--emit-runlog", default=None, metavar="PATH",
+                   help="write the structured JSONL run log (one ordered "
+                        "stream merged across worker processes)")
+    p.add_argument("--engine-stats", action="store_true",
+                   help="collect and print engine-introspection counters "
+                        "(wheel occupancy, slab recycling, cache hit rates)")
 
 
 def _emit_path(path: str, kernel: str, multi: bool) -> Path:
@@ -178,6 +184,29 @@ def main(argv: list[str] | None = None) -> int:
     pp.add_argument("--bandwidth", type=int, default=None,
                     help="Bandwidth Limiter target in B/cycle")
     sub.add_parser("info", help="print the simulated machine configuration")
+    pd = sub.add_parser("perf-diff",
+                        help="judge the latest value of every perf-ledger "
+                             "series against its trailing history "
+                             "(median + MAD)")
+    pd.add_argument("--ledger", default="benchmarks/results/ledger.jsonl",
+                    metavar="PATH", help="ledger JSONL file "
+                    "(default benchmarks/results/ledger.jsonl)")
+    pd.add_argument("--strict", action="store_true",
+                    help="also fail on series with insufficient history")
+    pdash = sub.add_parser("dash",
+                           help="self-contained HTML run dashboard from "
+                                "emitted artifacts")
+    pdash.add_argument("--output", default="dashboard.html",
+                       help="output path (default dashboard.html)")
+    pdash.add_argument("--manifest", action="append", default=[],
+                       metavar="PATH", help="run manifest / sweep JSON "
+                       "export to include (repeatable)")
+    pdash.add_argument("--runlog", default=None, metavar="PATH",
+                       help="JSONL run log to render as a timeline")
+    pdash.add_argument("--ledger", default=None, metavar="PATH",
+                       help="perf ledger to render as trend sparklines")
+    pdash.add_argument("--title", default=None,
+                       help="dashboard page title")
     pl = sub.add_parser("lint",
                         help="static verification of trace templates, "
                              "kernel emitters and sweep configs")
@@ -189,6 +218,36 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "lint":
         from repro.lint.runner import run_lint_cli
         return run_lint_cli(args)
+
+    if args.command == "perf-diff":
+        from repro.obs.ledger import (
+            load_and_validate,
+            perf_diff,
+            render_perf_diff,
+        )
+        try:
+            records = load_and_validate(args.ledger)
+        except ValueError as exc:
+            print(f"perf-diff: {exc}", file=sys.stderr)
+            return 2
+        results = perf_diff(records)
+        print(render_perf_diff(results))
+        bad = {"regression", "insufficient"} if args.strict \
+            else {"regression"}
+        return 1 if any(v.status in bad for _, v in results) else 0
+
+    if args.command == "dash":
+        from repro.obs.htmlreport import build_dashboard
+        try:
+            path = build_dashboard(
+                args.output, manifests=args.manifest, runlog=args.runlog,
+                ledger=args.ledger, title=args.title,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"dash: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}")
+        return 0
 
     if args.command == "report":
         from repro.core.suite import render_report, run_suite
@@ -240,14 +299,24 @@ def main(argv: list[str] | None = None) -> int:
         multi = len(names) > 1
         if args.emit_trace:
             set_tracing(True)
+        if args.emit_runlog:
+            from repro.obs.runlog import get_runlog, set_logging
+            set_logging(True)
         for name in names:
+            if args.emit_runlog:
+                get_runlog().event("profile.kernel", kernel=name,
+                                   engine=args.engine, scale=args.scale)
             r = profile_kernel(name, scale=args.scale, seed=args.seed,
                                vls=vls, engine=args.engine,
                                include_scalar=not args.no_scalar,
                                verify=verify, trace_cache=args.trace_cache,
-                               timelines=bool(args.emit_trace))
+                               timelines=bool(args.emit_trace),
+                               engine_stats=args.engine_stats)
             print(r.render(fractions=args.fractions))
             print()
+            if args.engine_stats:
+                print(r.render_engine_stats())
+                print()
             if args.emit_json:
                 path = _emit_path(args.emit_json, name, multi)
                 write_manifest(path, r.manifest())
@@ -258,6 +327,12 @@ def main(argv: list[str] | None = None) -> int:
                             metadata={"kernel": name, "engine": args.engine,
                                       "scale": args.scale})
                 print(f"wrote {path}", file=sys.stderr)
+        if args.emit_runlog:
+            from repro.obs.runlog import write_runlog
+            path = write_runlog(args.emit_runlog, get_runlog(),
+                                command="profile", kernels=names,
+                                scale=args.scale, engine=args.engine)
+            print(f"wrote {path}", file=sys.stderr)
         return 0
 
     if args.command == "headline":
@@ -325,11 +400,21 @@ def main(argv: list[str] | None = None) -> int:
     names = _kernel_names(args.kernel)
     emit_json = getattr(args, "emit_json", None)
     emit_trace = getattr(args, "emit_trace", None)
+    emit_runlog = getattr(args, "emit_runlog", None)
+    engine_stats_on = bool(getattr(args, "engine_stats", False))
     if emit_trace:
         set_tracing(True)
+    if emit_runlog:
+        from repro.obs.runlog import get_runlog, set_logging
+        set_logging(True)
+    if engine_stats_on:
+        from repro.obs.engine_stats import set_introspection
+        set_introspection(True)
     # attribution buckets ride along in the JSON export's manifest
     attributions = bool(emit_json)
     for name in names:
+        from repro.obs.lifecycle import reset_figure_state
+        reset_figure_state()
         spec = KERNELS[name]
         t0 = time.time()
         workload = spec.prepare(scale, args.seed)
@@ -380,6 +465,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {path} and {sibling}", file=sys.stderr)
         print(f"[{name}: {time.time() - t0:.1f}s]", file=sys.stderr)
         print()
+    if engine_stats_on:
+        from repro.obs.engine_stats import get_engine_stats
+        print(get_engine_stats().render())
+        print()
+    if emit_runlog:
+        from repro.obs.runlog import write_runlog
+        path = write_runlog(emit_runlog, get_runlog(),
+                            command=args.command, kernels=names,
+                            scale=args.scale, engine=args.engine)
+        print(f"wrote {path}", file=sys.stderr)
     if emit_trace:
         path = write_trace(emit_trace,
                            trace_events_from_spans(get_tracer().spans),

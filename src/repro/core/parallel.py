@@ -110,14 +110,24 @@ def run_tasks(fn: Callable[[T], R], tasks: Sequence[T], *,
     jobs = resolve_jobs(jobs)
     tasks = list(tasks)
 
+    # on_result must fire exactly once per task even when the pool dies
+    # mid-run and tasks are re-dispatched: without the dedup, every task
+    # that completed before the crash reported again on the retry
+    # (duplicate heartbeats, double-merged worker metrics)
+    reported: set[int] = set()
+
+    def _report(i: int, r: R) -> None:
+        if on_result is not None and i not in reported:
+            reported.add(i)
+            on_result(i, r)
+
     def _serial() -> list[R]:
         if initializer is not None:
             initializer(*initargs)
         out = []
         for i, t in enumerate(tasks):
             r = fn(t)
-            if on_result is not None:
-                on_result(i, r)
+            _report(i, r)
             out.append(r)
         return out
 
@@ -127,10 +137,9 @@ def run_tasks(fn: Callable[[T], R], tasks: Sequence[T], *,
     def _dispatch() -> list[R]:
         pool = _get_pool(jobs, initializer, initargs)
         futures = [pool.submit(fn, t) for t in tasks]
-        if on_result is not None:
-            index = {f: i for i, f in enumerate(futures)}
-            for f in as_completed(futures):
-                on_result(index[f], f.result())
+        index = {f: i for i, f in enumerate(futures)}
+        for f in as_completed(futures):
+            _report(index[f], f.result())
         return [f.result() for f in futures]
 
     try:
@@ -138,11 +147,25 @@ def run_tasks(fn: Callable[[T], R], tasks: Sequence[T], *,
             return _dispatch()
         except BrokenProcessPool:
             # a worker died mid-run; rebuild the pool and retry once
+            _note_pool_event("parallel.pool_rebuilt", jobs=jobs,
+                             tasks=len(tasks))
             shutdown_pool()
             return _dispatch()
     except (OSError, PermissionError, NotImplementedError,
             BrokenProcessPool):
         # no fork/semaphores available (restricted sandbox) or the pool
         # died twice: run serially
+        _note_pool_event("parallel.serial_fallback", jobs=jobs,
+                         tasks=len(tasks))
         shutdown_pool()
         return _serial()
+
+
+def _note_pool_event(name: str, **attrs) -> None:
+    """Surface a pool failure: metrics counter + structured run-log event
+    (replacing what used to be a silent rebuild)."""
+    from repro.obs.metrics import get_metrics
+    from repro.obs.runlog import get_runlog
+
+    get_metrics().counter(name).inc()
+    get_runlog().event(name, level="warn", **attrs)

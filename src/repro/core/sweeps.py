@@ -40,7 +40,9 @@ from repro.core.measurements import Measurement, SweepResult
 from repro.core.parallel import resolve_jobs, run_tasks
 from repro.errors import ConfigError, KernelError, TraceError
 from repro.kernels.base import KernelSpec
+from repro.obs import engine_stats as engine_stats_mod
 from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.runlog import RunLog, get_runlog
 from repro.obs.spans import SpanTracer, get_tracer
 from repro.soc.sdv import FpgaSdv
 from repro.trace.events import TraceBuffer
@@ -230,7 +232,12 @@ def run_implementation(
         cache_path = trace_cache_path(root, spec.name, workload, vl, sdv,
                                       spec=spec)
         if cache_path.exists():
+            if engine_stats_mod.introspection_enabled():
+                engine_stats_mod.get_engine_stats().count(
+                    "trace_cache.hits")
             return sdv, _load_trace_memoized(cache_path)
+        if engine_stats_mod.introspection_enabled():
+            engine_stats_mod.get_engine_stats().count("trace_cache.misses")
 
     session = sdv.session()
     builder = spec.vector if vl is not None else spec.scalar
@@ -273,18 +280,33 @@ class _ImplOutcome:
     metrics: dict = field(default_factory=dict)
     pid: int = 0
     wall_s: float = 0.0
+    log: list = field(default_factory=list)
+    engine_stats: dict = field(default_factory=dict)
 
 
 def _time_one_impl(spec: KernelSpec, workload, vl: int | None, axis: str,
                    points: Sequence[int], config: SdvConfig | None,
                    verify: bool, reference, keep_reports: bool, engine: str,
                    trace_cache, trace_spans: bool = False,
-                   attributions: bool = False) -> _ImplOutcome:
+                   attributions: bool = False, runlog_on: bool = False,
+                   trace_id: str = "", introspection: bool = False
+                   ) -> _ImplOutcome:
     """Generate + time one implementation across all points of one axis."""
     t_begin = time.perf_counter()
     tracer = SpanTracer(enabled=trace_spans)
     registry = MetricsRegistry()
+    # worker-local run log carrying the parent's trace id (the sweep
+    # adopts its records; in-process runs ship them back the same way)
+    log = RunLog(enabled=runlog_on, trace_id=trace_id or None)
+    # sync this process's introspection flag with the parent's; ship only
+    # the *delta* recorded by this task — workers are persistent, and in
+    # serial runs the parent collector already holds what we record
+    engine_stats_mod.set_introspection(introspection)
+    es_before = (engine_stats_mod.get_engine_stats().snapshot()
+                 if introspection else None)
     label = impl_label(vl)
+    log.event("impl.start", kernel=spec.name, impl=label, axis=axis,
+              points=len(points), engine=engine)
 
     with tracer.span(f"trace-gen:{spec.name}:{label}", kernel=spec.name,
                      impl=label):
@@ -292,8 +314,10 @@ def _time_one_impl(spec: KernelSpec, workload, vl: int | None, axis: str,
         sdv, trace = run_implementation(spec, workload, vl, config=config,
                                         verify=verify, reference=reference,
                                         trace_cache=trace_cache)
-        registry.histogram("sweep.trace_gen_s").observe(
-            time.perf_counter() - t0)
+        trace_gen_s = time.perf_counter() - t0
+        registry.histogram("sweep.trace_gen_s").observe(trace_gen_s)
+        log.event("impl.trace_ready", kernel=spec.name, impl=label,
+                  records=len(trace), wall_s=round(trace_gen_s, 6))
     configs = _sweep_configs(sdv.config, axis, points)
     base_lat = sdv.extra_latency
     base_bpc = int(sdv.bandwidth_bpc)
@@ -348,19 +372,29 @@ def _time_one_impl(spec: KernelSpec, workload, vl: int | None, axis: str,
 
     registry.counter("sweep.impls_timed").inc()
     registry.counter("sweep.points_timed").inc(len(points))
+    wall_s = time.perf_counter() - t_begin
+    log.event("impl.done", kernel=spec.name, impl=label,
+              measurements=len(measurements), wall_s=round(wall_s, 6))
+    es_snap = {}
+    if introspection:
+        es_snap = engine_stats_mod.snapshot_delta(
+            es_before, engine_stats_mod.get_engine_stats().snapshot())
     return _ImplOutcome(
         measurements=measurements,
         spans=tracer.spans,
         metrics=registry.snapshot(),
         pid=os.getpid(),
-        wall_s=time.perf_counter() - t_begin,
+        wall_s=wall_s,
+        log=log.records,
+        engine_stats=es_snap,
     )
 
 
 def _impl_task(args) -> _ImplOutcome:
     """Module-level worker: one (kernel, implementation) per process task."""
     (spec_or_name, workload, vl, axis, points, config, verify, reference,
-     keep_reports, engine, trace_cache, trace_spans, attributions) = args
+     keep_reports, engine, trace_cache, trace_spans, attributions,
+     runlog_on, trace_id, introspection) = args
     if isinstance(spec_or_name, str):
         from repro.kernels import KERNELS  # registry lookup in the worker
 
@@ -369,7 +403,8 @@ def _impl_task(args) -> _ImplOutcome:
         spec = spec_or_name
     return _time_one_impl(spec, workload, vl, axis, points, config, verify,
                           reference, keep_reports, engine, trace_cache,
-                          trace_spans, attributions)
+                          trace_spans, attributions, runlog_on, trace_id,
+                          introspection)
 
 
 def _validate_grid(axis: str, points: Sequence[int], vls: Sequence[int],
@@ -405,6 +440,10 @@ def _sweep(spec: KernelSpec, workload, axis: str, points: list[int],
     )
     tracer = get_tracer()
     registry = get_metrics()
+    runlog = get_runlog()
+    engine_stats = engine_stats_mod.get_engine_stats()
+    introspection = engine_stats_mod.introspection_enabled()
+    my_pid = os.getpid()
     # hoist the reference: identical for every implementation
     reference = spec.reference(workload) if verify else None
     # registry kernels travel to workers by name (always picklable);
@@ -414,7 +453,8 @@ def _sweep(spec: KernelSpec, workload, axis: str, points: list[int],
     payload = spec.name if KERNELS.get(spec.name) is spec else spec
     tasks = [
         (payload, workload, vl, axis, points, config, verify, reference,
-         keep_reports, engine, trace_cache, tracer.enabled, attributions)
+         keep_reports, engine, trace_cache, tracer.enabled, attributions,
+         runlog.enabled, runlog.trace_id, introspection)
         for vl in impls
     ]
     labels = [impl_label(v) for v in impls]
@@ -425,6 +465,10 @@ def _sweep(spec: KernelSpec, workload, axis: str, points: list[int],
         # per-worker progress while slower implementations are in flight
         nonlocal done
         done += 1
+        runlog.event("sweep.heartbeat", kernel=spec.name, axis=axis,
+                     impl=labels[idx], done=done, total=len(tasks),
+                     worker_pid=outcome.pid,
+                     wall_s=round(outcome.wall_s, 3))
         if parallel:
             print(f"[sweep {spec.name}/{axis}] {labels[idx]} done "
                   f"({done}/{len(tasks)}, worker pid {outcome.pid}, "
@@ -433,13 +477,21 @@ def _sweep(spec: KernelSpec, workload, axis: str, points: list[int],
     with tracer.span(f"sweep:{spec.name}:{axis}", kernel=spec.name,
                      axis=axis, impls=len(tasks), points=len(points),
                      engine=engine, jobs=jobs):
-        for outcome in run_tasks(_impl_task, tasks, jobs=jobs,
-                                 on_result=heartbeat,
-                                 initializer=_sweep_worker_init):
-            tracer.adopt(outcome.spans)
-            registry.merge(outcome.metrics)
-            for m in outcome.measurements:
-                result.add(m)
+        with runlog.context(f"sweep:{spec.name}:{axis}", kernel=spec.name,
+                            axis=axis, impls=len(tasks),
+                            points=len(points), engine=engine, jobs=jobs):
+            for outcome in run_tasks(_impl_task, tasks, jobs=jobs,
+                                     on_result=heartbeat,
+                                     initializer=_sweep_worker_init):
+                tracer.adopt(outcome.spans)
+                registry.merge(outcome.metrics)
+                runlog.adopt(outcome.log)
+                if outcome.pid != my_pid:
+                    # in-process outcomes already recorded straight into
+                    # this collector; only worker deltas need merging
+                    engine_stats.merge(outcome.engine_stats)
+                for m in outcome.measurements:
+                    result.add(m)
     registry.counter("sweep.sweeps_run").inc()
     return result
 

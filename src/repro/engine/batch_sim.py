@@ -89,6 +89,14 @@ def _walk(lowered: LoweredTrace, lat: np.ndarray, den: np.ndarray,
 
     Returns the end-time vector plus the knob-dependent breakdown pieces.
     """
+    from repro.obs.engine_stats import get_engine_stats, \
+        introspection_enabled
+
+    if introspection_enabled():
+        es = get_engine_stats()
+        es.count("batch.walks")
+        es.count("batch.points", len(lat))
+        es.count("batch.record_points", lowered.n * len(lat))
     K = lat.shape[0]
     n = lowered.n
     base = lowered.base

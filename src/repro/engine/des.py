@@ -236,6 +236,15 @@ class Environment:
 
     def run(self, until: float | None = None) -> None:
         """Process events until the heap drains (or ``until`` is reached)."""
+        # opt-in introspection (repro.obs.engine_stats): one local boolean
+        # check per active timestamp; fired-event counts are read off the
+        # _fired set instead of a per-event counter
+        from repro.obs.engine_stats import introspection_enabled
+
+        intro = introspection_enabled()
+        i_ts = 0
+        i_fired0 = len(self._fired)
+        i_max_drain = 0
         heap = self._heap
         cur = self._cur
         self._running = True
@@ -248,11 +257,24 @@ class Environment:
                 if time < self.now:
                     raise EngineError("time went backwards")
                 self.now = time
+                before = len(self._fired) if intro else 0
                 # heap entries first (schedule order), then the same-time
                 # deque, which collects zero-delay events as they appear
                 while heap and heap[0][0] == time:
                     self._fire(heapq.heappop(heap)[2])
                 while cur:
                     self._fire(cur.popleft())
+                if intro:
+                    i_ts += 1
+                    d = len(self._fired) - before
+                    if d > i_max_drain:
+                        i_max_drain = d
         finally:
             self._running = False
+            if intro:
+                from repro.obs.engine_stats import get_engine_stats
+
+                es = get_engine_stats()
+                es.count("event_ref.timestamps", i_ts)
+                es.count("event_ref.events", len(self._fired) - i_fired0)
+                es.high("event_ref.max_drain_depth", i_max_drain)

@@ -52,6 +52,7 @@ from repro.engine.lower import (
     LKIND_CSR,
     LKIND_SCALAR,
     LKIND_VARITH,
+    LKIND_VMEM,
 )
 from repro.engine.results import CycleReport
 from repro.errors import EngineError
@@ -132,10 +133,17 @@ class _FastSim:
     """One run: calendar queue + state-machine slabs."""
 
     def __init__(self, ct: ClassifiedTrace, plan: EventPlan,
-                 timeline) -> None:
+                 timeline, intro: bool = False) -> None:
         cfg = ct.config
         self.plan = plan
         self.timeline = timeline
+        # introspection (repro.obs.engine_stats): resolved once per run by
+        # simulate_events_fast; the hot loop reads a hoisted local
+        self.intro = intro
+        self.intro_timestamps = 0
+        self.intro_tokens = 0
+        self.intro_max_drain = 0
+        self.intro_max_occupancy = 0
         self.chaining = cfg.vpu.chaining
         self.ooo = cfg.vpu.ooo_mem_issue
 
@@ -314,6 +322,14 @@ class _FastSim:
         p_vm_n = plan.vm_n
         vm_j = self.vm_j
         vm_wbleft = self.vm_wbleft
+        # introspection accumulators: touched once per active *timestamp*
+        # (never per token) and only when enabled, so the disabled cost is
+        # one local boolean check per timestamp
+        intro = self.intro
+        i_ts = 0
+        i_tokens = 0
+        i_max_drain = 0
+        i_max_occ = 0
         self._running = True
         try:
             while self.occ or overflow:
@@ -610,6 +626,20 @@ class _FastSim:
                         self._va_step(tok >> 4)
                     else:
                         exec_(tok)
+                if intro:
+                    i_ts += 1
+                    d = len(curq)  # bucket batch + same-cycle appends
+                    i_tokens += d
+                    if d > i_max_drain:
+                        i_max_drain = d
+                    if not i_ts & 15:
+                        # wheel occupancy is a sampled high-watermark: the
+                        # big-int popcount is the one expensive probe here,
+                        # so it runs every 16th active timestamp (the
+                        # exact counters above stay exact)
+                        ob = self.occ.bit_count()
+                        if ob > i_max_occ:
+                            i_max_occ = ob
                 del curq[:]
         finally:
             self._running = False
@@ -622,6 +652,18 @@ class _FastSim:
             lc = self.latency_ctl
             lc.requests += lat_n
             lc.added_cycles += lat_n * lat_extra
+            if lim_den1:
+                # inline den==1 admissions bypass limiter.admit(); keep its
+                # fast-path counter (an attribute, NOT part of the pinned
+                # ``stats`` dict) consistent with the reference engine
+                limiter.fast_admits += lat_n
+            if intro:
+                self.intro_timestamps += i_ts
+                self.intro_tokens += i_tokens
+                if i_max_drain > self.intro_max_drain:
+                    self.intro_max_drain = i_max_drain
+                if i_max_occ > self.intro_max_occupancy:
+                    self.intro_max_occupancy = i_max_occ
 
     def _exec(self, tok: int) -> None:
         code = tok & 15
@@ -1326,6 +1368,52 @@ class _FastSim:
             self.slots_used -= 1
 
 
+def _plan_line_spawns(plan: EventPlan) -> int:
+    """Total line-request slab allocations a run of ``plan`` performs.
+
+    Derived from the plan tables (one vector-memory record spawns its
+    coalesced line count; one scalar block spawns its non-L1 ops), so the
+    introspection layer never counts allocations on the hot path. Cached
+    on the plan — it is shared across every re-timing of one trace.
+    """
+    cached = getattr(plan, "_line_spawns", None)
+    if cached is not None:
+        return cached
+    kind = plan.kind
+    slot = plan.slot
+    total = 0
+    for i in range(plan.n):
+        k = kind[i]
+        if k == LKIND_VMEM:
+            total += plan.vm_n[slot[i]]
+        elif k == LKIND_SCALAR:
+            levels = plan.sc_levels[slot[i]]
+            if levels:
+                total += sum(1 for lv in levels if lv != _L1)
+    plan._line_spawns = total
+    return total
+
+
+def _record_engine_stats(sim: _FastSim, plan: EventPlan) -> None:
+    """Post-run introspection: everything not kept per-timestamp is
+    derived from end-of-run state (see docs/observability.md glossary)."""
+    from repro.obs.engine_stats import get_engine_stats
+
+    es = get_engine_stats()
+    es.count("event.runs")
+    es.count("event.timestamps", sim.intro_timestamps)
+    es.count("event.tokens", sim.intro_tokens)
+    es.high("event.max_drain_depth", sim.intro_max_drain)
+    es.high("event.max_wheel_occupancy", sim.intro_max_occupancy)
+    es.count("event.overflow_spills", sim._oseq)
+    es.high("event.slab_high_water", len(sim.ln_bank))
+    spawns = _plan_line_spawns(plan)
+    es.count("event.line_spawns", spawns)
+    es.count("event.lines_recycled", spawns - len(sim.ln_bank))
+    es.count("limiter.admits", sim.limiter.admitted)
+    es.count("limiter.fast_path_admits", sim.limiter.fast_admits)
+
+
 def simulate_events_fast(ct: ClassifiedTrace, *, timeline=None
                          ) -> CycleReport:
     """Run the array-backed discrete-event model over a classified trace.
@@ -1333,12 +1421,19 @@ def simulate_events_fast(ct: ClassifiedTrace, *, timeline=None
     Drop-in replacement for :func:`repro.engine.event_sim.simulate_events`
     with bit-identical results; registered as ``engine="event"``.
     """
+    # resolved lazily to keep the engine importable without the obs
+    # package (and to avoid a package-init cycle)
+    from repro.obs.engine_stats import introspection_enabled
+
     if timeline is not None:
         timeline.engine = "event"
     plan = event_plan(ct)
-    sim = _FastSim(ct, plan, timeline)
+    intro = introspection_enabled()
+    sim = _FastSim(ct, plan, timeline, intro=intro)
     sim._core_advance()  # synchronous start, like the reference's core()
     sim._run()
+    if intro:
+        _record_engine_stats(sim, plan)
     cycles = sim.now if sim.now >= sim.wb_tail else sim.wb_tail
     return CycleReport(
         cycles=float(cycles),

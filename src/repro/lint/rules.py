@@ -190,6 +190,19 @@ _ALL_RULES = (
          "the trace_event dump fails structural validation", ""),
     Rule("O004", _E, "unreadable artifact",
          "the file cannot be read or parsed as JSON", ""),
+    Rule("O005", _E, "run-log schema violation",
+         "the JSONL run log fails repro.runlog/1 validation (bad header, "
+         "record-count mismatch, trace-id drift, or out-of-order records)",
+         "emit run logs via --emit-runlog"),
+    Rule("O006", _E, "perf-ledger schema violation",
+         "a ledger record fails repro.ledger/1 validation (missing keys, "
+         "bad types, or an unsupported schema tag)",
+         "append records via repro.obs.ledger.append_record"),
+    Rule("O007", _E, "dashboard contract violation",
+         "the HTML dashboard is missing its repro.dash/1 marker, is "
+         "truncated, or references external resources (must be "
+         "self-contained)",
+         "regenerate it with repro-sdv dash"),
 )
 
 #: rule id -> catalog entry, in catalog order.

@@ -59,6 +59,10 @@ class BandwidthLimiter:
         self._window_used = 0
         self.admitted = 0            # requests admitted since reset
         self.throttle_cycles = 0.0   # total admission delay imposed
+        # introspection only (repro.obs.engine_stats): admissions that took
+        # the collapsed den==1 path. Deliberately NOT part of ``stats`` —
+        # that dict is pinned bit-equal across the event engines.
+        self.fast_admits = 0
 
     def admit(self, request_time: float) -> float:
         """Admission time for a request arriving at ``request_time``.
@@ -77,6 +81,7 @@ class BandwidthLimiter:
             self._window_start = at
             self._window_used = 1
             self.admitted += 1
+            self.fast_admits += 1
             d = at - request_time
             if d > 0.0:
                 self.throttle_cycles += d

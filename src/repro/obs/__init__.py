@@ -21,7 +21,19 @@ the simulator into a study instrument:
 * :mod:`repro.obs.manifest` — schema-versioned machine-readable run
   manifests written next to sweep results;
 * :mod:`repro.obs.profile` — the ``repro-sdv profile`` harness: the
-  per-VL attribution table ("short reasons" view).
+  per-VL attribution table ("short reasons" view);
+* :mod:`repro.obs.runlog` — structured JSONL run log with trace-context
+  propagation across worker processes, merged into one ordered stream;
+* :mod:`repro.obs.engine_stats` — opt-in internal counters from the
+  timing-engine hot paths (wheel occupancy, slab recycling, cache hit
+  rates), disabled-cost pinned to unmeasurable;
+* :mod:`repro.obs.ledger` — longitudinal machine-fingerprinted perf
+  records with a median+MAD regression detector (``repro-sdv
+  perf-diff``);
+* :mod:`repro.obs.htmlreport` — the self-contained HTML run dashboard
+  (``repro-sdv dash``);
+* :mod:`repro.obs.lifecycle` — figure-boundary reset of the process-wide
+  observability singletons.
 """
 
 from repro.obs.attribution import (
@@ -38,6 +50,28 @@ from repro.obs.manifest import (
     validate_manifest,
     write_manifest,
 )
+from repro.obs.engine_stats import (
+    EngineStats,
+    get_engine_stats,
+    set_introspection,
+    snapshot_delta,
+)
+from repro.obs.htmlreport import (
+    DASH_SCHEMA,
+    build_dashboard,
+    render_dashboard,
+    validate_dashboard,
+)
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    Verdict,
+    append_record,
+    build_record,
+    check_series,
+    detect_regression,
+    perf_diff,
+)
+from repro.obs.lifecycle import reset_figure_state
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.perfetto import (
     trace_events_from_spans,
@@ -45,28 +79,56 @@ from repro.obs.perfetto import (
     validate_trace_events,
     write_trace,
 )
+from repro.obs.runlog import (
+    RUNLOG_SCHEMA,
+    RunLog,
+    get_runlog,
+    set_logging,
+    write_runlog,
+)
 from repro.obs.spans import SpanTracer, get_tracer, set_tracing
 from repro.obs.timeline import TimelineRecorder
 
 __all__ = [
     "BUCKET_ORDER",
     "CycleAttribution",
+    "DASH_SCHEMA",
+    "EngineStats",
+    "LEDGER_SCHEMA",
     "MANIFEST_SCHEMA",
     "MetricsRegistry",
+    "RUNLOG_SCHEMA",
+    "RunLog",
     "SpanTracer",
     "TimelineRecorder",
+    "Verdict",
+    "append_record",
     "attribute",
     "attribute_many",
     "attribution_ladder",
+    "build_dashboard",
     "build_manifest",
+    "build_record",
+    "check_series",
     "config_hash",
+    "detect_regression",
+    "get_engine_stats",
     "get_metrics",
+    "get_runlog",
     "get_tracer",
+    "perf_diff",
+    "render_dashboard",
+    "reset_figure_state",
+    "set_introspection",
+    "set_logging",
     "set_tracing",
+    "snapshot_delta",
     "trace_events_from_spans",
     "trace_events_from_timeline",
+    "validate_dashboard",
     "validate_manifest",
     "validate_trace_events",
     "write_manifest",
+    "write_runlog",
     "write_trace",
 ]

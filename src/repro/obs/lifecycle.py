@@ -1,0 +1,44 @@
+"""Observability state lifecycle across multi-figure commands.
+
+All four observability surfaces are process-wide singletons (metrics
+registry, span tracer, run log, engine-stats collector) so instrumented
+code anywhere in the harness can reach them without threading handles.
+The cost: a command that runs *several* sweep figures in sequence
+(``repro-sdv report``, ``--kernel all``) leaks state between them — a
+figure aborted by an exception leaves the span stack and run-log context
+path dangling, and per-figure metrics pile into one undifferentiated
+registry.
+
+:func:`reset_figure_state` is the boundary call between figures: it
+clears per-figure *accumulation* (metrics instruments) and repairs any
+dangling *nesting* state (open spans, run-log context path) while keeping
+everything already completed — spans already closed and run-log records
+already emitted survive, so an end-of-command ``--emit-trace`` /
+``--emit-runlog`` export still covers the whole command.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import get_metrics
+from repro.obs.runlog import get_runlog
+from repro.obs.spans import get_tracer
+
+
+def reset_figure_state(*, clear_metrics: bool = True) -> int:
+    """Reset per-figure observability state at a figure boundary.
+
+    Clears the metrics registry (fresh counters per figure; pass
+    ``clear_metrics=False`` to keep accumulating), force-closes dangling
+    open spans without discarding completed ones, and drops any dangling
+    run-log context scopes without discarding recorded events. Returns
+    the number of spans that had to be force-closed (nonzero means the
+    previous figure did not unwind cleanly).
+    """
+    if clear_metrics:
+        get_metrics().clear()
+    dangling = get_tracer().reset_stack()
+    log = get_runlog()
+    log.reset_context()
+    if dangling:
+        log.event("figure.dangling_spans", level="warn", count=dangling)
+    return dangling

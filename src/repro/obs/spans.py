@@ -82,6 +82,19 @@ class SpanTracer:
         self._stack.clear()
         self.origin = time.perf_counter()
 
+    def reset_stack(self) -> int:
+        """Close any dangling open spans (a figure aborted mid-span) and
+        drop the nesting stack, keeping every completed span. Returns the
+        number of spans force-closed — callers treat nonzero as a sign
+        the previous figure did not unwind cleanly."""
+        dangling = 0
+        for s in self._stack:
+            if not s.t1:
+                s.t1 = time.perf_counter()
+                dangling += 1
+        self._stack.clear()
+        return dangling
+
 
 #: process-wide tracer, disabled by default (CLI enables for --emit-trace).
 _TRACER = SpanTracer(enabled=False)

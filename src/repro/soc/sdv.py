@@ -43,6 +43,15 @@ from repro.soc.hwcounters import HwCounters
 from repro.trace.events import TraceBuffer
 
 
+def _count_cache(name: str) -> None:
+    """Opt-in cache hit/miss accounting (repro.obs.engine_stats)."""
+    from repro.obs.engine_stats import get_engine_stats, \
+        introspection_enabled
+
+    if introspection_enabled():
+        get_engine_stats().count(name)
+
+
 @dataclass
 class Session:
     """One program running on the SDV: memory image + ISA contexts."""
@@ -140,8 +149,11 @@ class FpgaSdv:
         key = self._geometry_key()
         ct = cache.get(key)
         if ct is None:
+            _count_cache("classify_cache.misses")
             ct = classify_trace(trace, self.config)
             cache[key] = ct
+        else:
+            _count_cache("classify_cache.hits")
         # re-bind the current knob settings (latency/bandwidth/VPU timing)
         return dataclasses.replace(ct, config=self.config)
 
@@ -160,8 +172,11 @@ class FpgaSdv:
         key = knob_free_config(self.config)
         lowered = cache.get(key)
         if lowered is None:
+            _count_cache("lower_cache.misses")
             lowered = lower_trace(ct)
             cache[key] = lowered
+        else:
+            _count_cache("lower_cache.hits")
         return lowered
 
     def _instret(self, ct: ClassifiedTrace) -> tuple[int, int]:

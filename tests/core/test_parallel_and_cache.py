@@ -107,6 +107,95 @@ class TestPersistentPool:
         assert out == ["inline"]  # single task -> in-process + initializer
 
 
+class _FakePool:
+    """Stands in for a ProcessPoolExecutor with pre-resolved futures."""
+
+    def __init__(self, futures):
+        self._futures = list(futures)
+        self._next = 0
+
+    def submit(self, fn, task):
+        f = self._futures[self._next]
+        self._next += 1
+        return f
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestBrokenPoolRebuild:
+    def test_rebuild_reports_each_task_once(self, monkeypatch):
+        # a worker dies mid-run: the first dispatch completes some tasks
+        # then raises BrokenProcessPool; the retry completes everything.
+        # on_result must fire exactly once per task (no duplicate
+        # heartbeats / double-merged worker metrics) and the rebuild must
+        # surface on the observability counters.
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.obs.metrics import get_metrics
+        from repro.obs.runlog import set_logging
+
+        tasks = [1, 2, 3]
+        first = []
+        for t in tasks[:-1]:
+            f = Future()
+            f.set_result(t * t)
+            first.append(f)
+        broken = Future()
+        broken.set_exception(BrokenProcessPool("worker died"))
+        first.append(broken)
+        second = []
+        for t in tasks:
+            f = Future()
+            f.set_result(t * t)
+            second.append(f)
+
+        pools = iter([_FakePool(first), _FakePool(second)])
+        monkeypatch.setattr(parallel_mod, "_get_pool",
+                            lambda workers, init, initargs: next(pools))
+
+        log = set_logging(True)
+        before = get_metrics().counter("parallel.pool_rebuilt").value
+        reported = []
+        try:
+            out = run_tasks(_square, tasks, jobs=2,
+                            on_result=lambda i, r: reported.append(i))
+        finally:
+            set_logging(False)
+
+        assert out == [1, 4, 9]
+        assert sorted(reported) == [0, 1, 2]  # each index exactly once
+        after = get_metrics().counter("parallel.pool_rebuilt").value
+        assert after - before == 1
+        names = [r["name"] for r in log.records]
+        assert "parallel.pool_rebuilt" in names
+
+    def test_twice_broken_pool_falls_back_to_serial(self, monkeypatch):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.obs.metrics import get_metrics
+
+        def broken_pool(workers, init, initargs):
+            futures = []
+            for _ in range(3):
+                f = Future()
+                f.set_exception(BrokenProcessPool("worker died"))
+                futures.append(f)
+            return _FakePool(futures)
+
+        monkeypatch.setattr(parallel_mod, "_get_pool", broken_pool)
+        before = get_metrics().counter("parallel.serial_fallback").value
+        reported = []
+        out = run_tasks(_square, [1, 2, 3], jobs=2,
+                        on_result=lambda i, r: reported.append(i))
+        assert out == [1, 4, 9]  # serial fallback still computes
+        assert sorted(reported) == [0, 1, 2]
+        after = get_metrics().counter("parallel.serial_fallback").value
+        assert after - before == 1
+
+
 class TestWorkerTraceMemo:
     def test_cached_trace_loaded_once_per_process(self, tmp_path,
                                                   monkeypatch):

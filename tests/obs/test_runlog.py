@@ -1,0 +1,171 @@
+"""Unit tests for the structured JSONL run log: record shape, context
+scoping, cross-process merge ordering, and the on-disk round trip."""
+
+import json
+
+import pytest
+
+from repro.obs.check import check_file
+from repro.obs.runlog import (
+    RUNLOG_SCHEMA,
+    RunLog,
+    build_header,
+    load_and_validate,
+    new_trace_id,
+    set_logging,
+    validate_runlog_lines,
+    write_runlog,
+)
+
+
+@pytest.fixture(autouse=True)
+def _quiet_runlog():
+    """Leave the process-wide log the way we found it (disabled)."""
+    yield
+    set_logging(False)
+
+
+class TestRunLog:
+    def test_event_records_required_keys(self):
+        log = RunLog()
+        rec = log.event("sweep.start", kernel="fft", points=9)
+        assert rec["name"] == "sweep.start"
+        assert rec["level"] == "info"
+        assert rec["trace"] == log.trace_id
+        assert rec["attrs"] == {"kernel": "fft", "points": 9}
+        assert log.records == [rec]
+
+    def test_disabled_log_records_nothing(self):
+        log = RunLog(enabled=False)
+        assert log.event("x") is None
+        assert log.records == []
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            RunLog().event("x", level="fatal")
+
+    def test_seq_increments_per_record(self):
+        log = RunLog()
+        a = log.event("a")
+        b = log.event("b")
+        assert (a["seq"], b["seq"]) == (0, 1)
+
+    def test_context_scopes_ctx_path(self):
+        log = RunLog()
+        with log.context("figure", fig="fig3"):
+            with log.context("kernel"):
+                log.event("point")
+        names = [r["name"] for r in log.records]
+        assert names == ["figure.begin", "kernel.begin", "point",
+                         "kernel.end", "figure.end"]
+        point = log.records[2]
+        assert point["ctx"] == "figure/kernel"
+        # begin/end of the inner scope sit under the outer one only
+        assert log.records[1]["ctx"] == "figure"
+        assert log.records[0].get("ctx") is None
+
+    def test_context_unwinds_on_exception(self):
+        log = RunLog()
+        with pytest.raises(RuntimeError):
+            with log.context("figure"):
+                raise RuntimeError
+        assert log.records[-1]["name"] == "figure.end"
+        assert log._ctx == []
+
+    def test_adopt_preserves_worker_identity(self):
+        parent = RunLog()
+        worker = RunLog(trace_id=parent.trace_id)
+        worker.event("worker.task")
+        parent.event("parent.dispatch")
+        parent.adopt(worker.records)
+        pids = {r["pid"] for r in parent.records}
+        assert len(parent.records) == 2
+        assert all(r["trace"] == parent.trace_id for r in parent.records)
+        assert pids  # worker pid preserved (same process here, still set)
+
+    def test_merged_records_ordered_by_ts_pid_seq(self):
+        log = RunLog()
+        # hand-build out-of-order records across two fake pids
+        log.records = [
+            {"ts": 2.0, "pid": 9, "seq": 0, "trace": log.trace_id,
+             "name": "c", "level": "info"},
+            {"ts": 1.0, "pid": 9, "seq": 1, "trace": log.trace_id,
+             "name": "b", "level": "info"},
+            {"ts": 1.0, "pid": 3, "seq": 5, "trace": log.trace_id,
+             "name": "a", "level": "info"},
+        ]
+        assert [r["name"] for r in log.merged_records()] == ["a", "b", "c"]
+
+
+class TestRunlogFile:
+    def test_write_load_roundtrip(self, tmp_path):
+        log = RunLog()
+        with log.context("figure"):
+            log.event("point", latency=64)
+        path = write_runlog(tmp_path / "run.jsonl", log, command="fig3")
+        lines = load_and_validate(path)
+        header = lines[0]
+        assert header["schema"] == RUNLOG_SCHEMA
+        assert header["command"] == "fig3"
+        assert header["records"] == len(lines) - 1 == 3
+        assert check_file(str(path)) == "runlog"
+
+    def test_header_only_log_is_valid_and_sniffable(self, tmp_path):
+        # a single-line JSONL file parses as whole-file JSON; the checker
+        # must still route it by its schema tag
+        path = write_runlog(tmp_path / "empty.jsonl", RunLog())
+        assert load_and_validate(path)[0]["records"] == 0
+        assert check_file(str(path)) == "runlog"
+
+    def test_validator_rejects_drift(self):
+        log = RunLog()
+        log.event("a")
+        good = [build_header(log)] + log.merged_records()
+
+        bad_schema = [dict(good[0], schema="repro.runlog/999")] + good[1:]
+        with pytest.raises(ValueError, match="schema"):
+            validate_runlog_lines(bad_schema)
+
+        bad_count = [dict(good[0], records=7)] + good[1:]
+        with pytest.raises(ValueError, match="advertises"):
+            validate_runlog_lines(bad_count)
+
+        bad_trace = good[:1] + [dict(good[1], trace="deadbeef")]
+        with pytest.raises(ValueError, match="trace"):
+            validate_runlog_lines(bad_trace)
+
+        bad_level = good[:1] + [dict(good[1], level="fatal")]
+        with pytest.raises(ValueError, match="level"):
+            validate_runlog_lines(bad_level)
+
+        with pytest.raises(ValueError, match="empty"):
+            validate_runlog_lines([])
+
+    def test_validator_rejects_disorder(self, tmp_path):
+        log = RunLog()
+        log.event("a")
+        log.event("b")
+        first, second = log.records
+        header = build_header(log)
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(json.dumps(line) for line in
+                                  [header, second, first]) + "\n")
+        with pytest.raises(ValueError, match="order"):
+            load_and_validate(path)
+
+
+class TestProcessWideLog:
+    def test_set_logging_clears_and_rekeys_on_enable(self):
+        log = set_logging(True)
+        log.event("stale")
+        old_trace = log.trace_id
+        set_logging(False)
+        log = set_logging(True)
+        assert log.records == []
+        assert log.trace_id != old_trace
+
+    def test_explicit_trace_id_propagates(self):
+        tid = new_trace_id()
+        log = set_logging(True, trace_id=tid)
+        assert log.trace_id == tid
+        assert log.event("x")["trace"] == tid

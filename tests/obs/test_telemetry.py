@@ -133,6 +133,52 @@ class TestTimelineAndPerfetto:
             validate_trace_events({"no_events": []})
 
 
+class TestEngineTimelines:
+    @pytest.fixture(scope="class")
+    def classified(self):
+        from repro.core.sweeps import run_implementation
+        from repro.kernels import KERNELS
+        from repro.workloads import get_scale
+
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        sdv, trace = run_implementation(spec, workload, 8, verify=False)
+        return sdv.classify(trace)
+
+    def test_event_engine_timeline_exports_valid_trace(self, classified,
+                                                       tmp_path):
+        from repro.engine import simulate_events_fast
+
+        tl = TimelineRecorder()
+        report = simulate_events_fast(classified, timeline=tl)
+        assert tl.engine == "event"
+        assert tl.events  # the DES actually recorded its schedule
+        assert tl.end_cycle <= report.cycles
+        events = trace_events_from_timeline(tl, label="event engine")
+        validate_trace_events({"traceEvents": events})
+        tracks = {e.track for e in tl.events}
+        assert "scalar-core" in tracks and "vpu-arith" in tracks
+        path = tmp_path / "event.trace.json"
+        write_trace(path, events)
+        assert load_trace(path)["traceEvents"]
+
+    def test_event_and_ref_timelines_identical(self, classified):
+        # the bit-exactness contract extends to the recorded schedule:
+        # both DES engines must dump the same machine-activity timeline,
+        # event for event, in the same order
+        from repro.engine import simulate_events, simulate_events_fast
+
+        tl_fast, tl_ref = TimelineRecorder(), TimelineRecorder()
+        fast = simulate_events_fast(classified, timeline=tl_fast)
+        ref = simulate_events(classified, timeline=tl_ref)
+        assert fast.cycles == ref.cycles
+        assert (tl_fast.engine, tl_ref.engine) == ("event", "event-ref")
+        key = [(e.track, e.name, e.start, e.dur, e.args)
+               for e in tl_fast.events]
+        assert key == [(e.track, e.name, e.start, e.dur, e.args)
+                       for e in tl_ref.events]
+
+
 class TestManifest:
     def _manifest(self, **kwargs):
         return build_manifest(
