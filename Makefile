@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper figures validate examples clean \
-	lint lint-static lint-types
+.PHONY: install test bench bench-paper sweep-bench figures validate \
+	examples clean lint lint-static lint-types
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -44,6 +44,13 @@ bench-output:
 
 bench-paper:
 	REPRO_BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# end-to-end sharded-scheduler bench (fig3, event engine, jobs=4):
+# records the sweep_e2e_fig3_event ledger series and the result table
+sweep-bench:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest \
+		bench_sweep_scale.py -q
+	cat benchmarks/results/sweep_e2e_fig3_event.txt
 
 figures:
 	$(PYTHON) -m repro.cli fig3 --kernel all

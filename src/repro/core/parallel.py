@@ -64,7 +64,12 @@ def _get_pool(workers: int, initializer, initargs) -> ProcessPoolExecutor:
     if _pool is not None:
         if _pool[0] == key:
             return _pool[1]
-        _pool[1].shutdown(wait=False, cancel_futures=True)
+        # wait for the old workers to exit before the new shape comes up:
+        # an abandoned worker still draining a task can race state the
+        # caller tears down right after this call returns — concretely, a
+        # shared-memory segment the sweep parent unlinks while the orphan
+        # is attaching it (see repro.core.shm)
+        _pool[1].shutdown(wait=True, cancel_futures=True)
         _pool = None
     pool = ProcessPoolExecutor(max_workers=workers,
                                initializer=initializer,

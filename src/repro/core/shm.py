@@ -1,0 +1,663 @@
+"""The zero-copy shared-memory trace plane.
+
+The sharded sweep scheduler (:mod:`repro.core.sweeps`) splits the
+re-timing of one trace across many worker processes. Shipping the trace
+to each shard through the task pipe would pickle megabytes per shard;
+re-loading it from the npz cache would pay decompression per shard. The
+*trace plane* removes both: the process that generated (or loaded) a
+sealed trace publishes its SoA columns once into a
+:mod:`multiprocessing.shared_memory` segment, and every worker timing a
+shard of it attaches NumPy views onto the same physical pages — no copy,
+no decompression, no per-shard pickling. The prepared workload rides the
+same plane as one pickled blob, published once per (kernel, workload)
+instead of once per task.
+
+Segment layout (version 1)::
+
+    magic "RPLN1" | uint64 meta_len | meta JSON | 64-byte-aligned arrays
+
+The meta JSON carries ``(name, dtype, shape, offset)`` for every column
+of :class:`repro.trace.events.TraceColumns` plus the ``\\0``-joined
+intern table, so :func:`TracePlane.attach_trace` rebuilds a sealed
+:class:`~repro.trace.events.TraceBuffer` with ``np.ndarray(buffer=...)``
+views — the attach cost is a page-table mapping, independent of trace
+size.
+
+Lifecycle protocol (per-process refcounts, owner-side unlink):
+
+* ``publish_*`` creates a segment and records the caller as its
+  *publisher*; publishing the same key twice on one plane is idempotent
+  (the first segment is returned).
+* ``attach_*`` maps a segment by :class:`PlaneRef` and bumps a
+  per-process refcount; a plane that published or already attached a
+  segment serves the same object back without re-mapping (so every shard
+  of a trace in one worker shares one mapping *and* its
+  classification/lowering/event-plan caches).
+* ``detach`` drops one reference; a zero-ref mapping becomes *evictable*
+  but stays cached until LRU pressure closes it, so a long-lived worker
+  neither accumulates mappings across sweeps nor loses the per-trace
+  plan caches between consecutive shards of the same trace.
+* ``adopt`` transfers unlink responsibility to the caller (the sweep
+  parent adopts segments its workers published); ``release`` /
+  ``unlink_all`` unlink adopted + published segments.
+
+Crash cleanup is layered: ``unlink_all`` runs at interpreter exit
+(:mod:`atexit`); every segment name carries the owning parent's pid in
+its prefix, and on platforms that expose ``/dev/shm`` the owner's exit
+hook additionally sweeps any same-prefix segment a crashed worker
+published but never reported. CPython's ``resource_tracker`` remains the
+last line for a hard-killed process tree.
+
+Everything degrades gracefully: any ``OSError`` while publishing (no
+``/dev/shm``, exhausted segment space, sandbox seccomp) marks the plane
+unusable and returns ``None``, and callers fall back to the
+copy/reload paths exactly like :func:`repro.core.parallel.run_tasks`
+falls back to serial execution. ``REPRO_NO_SHM=1`` disables the plane
+outright.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import pickle
+import uuid
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.events import TraceBuffer, TraceColumns
+
+_MAGIC = b"RPLN1"
+_ALIGN = 64
+
+#: every fixed-width TraceColumns array, in segment order; ``strings``
+#: travels as one \0-joined utf-8 blob (same trick as serialize.py v2).
+_TRACE_ARRAYS = (
+    "kind", "n_alu", "mlp", "mem_bytes", "vl", "active", "opclass",
+    "pattern", "is_write", "masked", "dep", "scalar_dest",
+    "opcode_id", "label_id", "addr_off", "addrs", "writes",
+)
+
+#: bound on cached attachments per process — must exceed one sweep's
+#: implementation count (scalar + six VLs) or mid-sweep eviction thrashes
+#: the per-trace plan caches; evicted mappings are closed, not unlinked
+ATTACH_CAP = 16
+
+
+def shm_available() -> bool:
+    """Best-effort availability probe (also honours ``REPRO_NO_SHM``)."""
+    if os.environ.get("REPRO_NO_SHM"):
+        return False
+    try:
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(create=True, size=16)
+    except (ImportError, OSError, PermissionError, NotImplementedError):
+        return False
+    try:
+        seg.close()
+        seg.unlink()
+    except OSError:
+        pass
+    return True
+
+
+@dataclass(frozen=True)
+class PlaneRef:
+    """Picklable handle to one published segment (what task tuples carry)."""
+
+    name: str       # shared-memory segment name
+    key: str        # content key it was published under
+    kind: str       # "trace" | "bytes"
+    size: int       # payload bytes (segment may be page-rounded larger)
+    records: int = 0  # trace records (cost-model input; 0 for blobs)
+
+
+class _Attachment:
+    """One mapped segment in this process."""
+
+    __slots__ = ("shm", "obj", "refs", "published")
+
+    def __init__(self, shm, obj, *, published: bool = False) -> None:
+        self.shm = shm
+        self.obj = obj          # TraceBuffer or bytes, lazily built
+        self.refs = 1
+        self.published = published
+
+
+def _pad(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _untrack(shm) -> None:
+    """Withdraw a segment from CPython's resource tracker.
+
+    Before 3.13 (``track=False``), creating *or attaching* a POSIX
+    segment registers it with the process's resource tracker, which
+    unlinks everything still registered when the process exits — so a
+    helper subprocess finishing early would yank a plane segment out
+    from under a running sweep, and double registration through a
+    fork-shared tracker turns the owner's unlink into stderr noise.
+    The plane therefore keeps the tracker out of the picture entirely:
+    segments are untracked the moment they are created, attachments map
+    the segment below the :class:`SharedMemory` layer, and cleanup is
+    wholly owned by the plane (refcounts + ``atexit`` + the
+    pid-prefixed stale-segment purge).
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class _Mapping:
+    """A tracker-free mapping of an existing POSIX segment (duck-typed
+    to the slice of ``SharedMemory`` the plane uses)."""
+
+    __slots__ = ("name", "_mmap", "buf")
+
+    def __init__(self, name: str, mm) -> None:
+        self.name = name
+        self._mmap = mm
+        self.buf = memoryview(mm)
+
+    def close(self) -> None:
+        self.buf.release()
+        self._mmap.close()
+
+    def unlink(self) -> None:
+        _raw_unlink(self.name)
+
+
+def _open_segment(name: str):
+    """Attach to an existing segment without tracker side effects."""
+    try:
+        import mmap as _mmap_mod
+
+        import _posixshmem
+
+        fd = _posixshmem.shm_open(f"/{name}", os.O_RDWR, 0o600)
+    except (ImportError, AttributeError):
+        # no POSIX shm primitives: attach through SharedMemory and
+        # withdraw the registration it just made
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        return shm
+    try:
+        size = os.fstat(fd).st_size
+        mm = _mmap_mod.mmap(fd, size)
+    finally:
+        os.close(fd)
+    return _Mapping(name, mm)
+
+
+def _raw_unlink(name: str) -> None:
+    """Remove a segment's name (idempotent, no tracker interaction)."""
+    try:
+        import _posixshmem
+
+        _posixshmem.shm_unlink(f"/{name}")
+        return
+    except FileNotFoundError:
+        return
+    except (ImportError, AttributeError, OSError):
+        pass
+    try:
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(name=name)
+    except Exception:
+        return
+    try:
+        seg.unlink()
+    except OSError:
+        pass
+    try:
+        seg.close()
+    except (OSError, BufferError):
+        pass
+
+
+class TracePlane:
+    """Per-process view of the shared-memory trace plane."""
+
+    def __init__(self, *, enabled: bool | None = None) -> None:
+        if enabled is None:
+            enabled = not os.environ.get("REPRO_NO_SHM")
+        self.enabled = enabled
+        self.owner_pid = os.getpid()
+        #: segments this process must unlink (published here or adopted)
+        self._owned: dict[str, object] = {}
+        #: key -> PlaneRef for publish idempotence
+        self._by_key: dict[str, PlaneRef] = {}
+        #: name -> _Attachment (mapped segments, LRU order)
+        self._attached: dict[str, _Attachment] = {}
+        self.stats = {
+            "publishes": 0, "attaches": 0, "bytes_published": 0,
+            "bytes_attached": 0, "unlinks": 0,
+        }
+
+    # ------------------------------------------------------------ publishing
+
+    def _new_segment(self, prefix: str, size: int):
+        from multiprocessing import shared_memory
+
+        name = f"{prefix}{uuid.uuid4().hex[:12]}"
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(size, 1))
+        _untrack(shm)  # cleanup is the plane's job, not the tracker's
+        return shm
+
+    def publish_trace(self, key: str, trace: TraceBuffer, *,
+                      prefix: str, transfer: bool = False) -> PlaneRef | None:
+        """Publish a sealed trace's columns; returns its ref (idempotent
+        per key) or ``None`` when the plane is unusable."""
+        if not self.enabled:
+            return None
+        hit = self._by_key.get(key)
+        if hit is not None:
+            return hit
+        if not trace.sealed:
+            raise TraceError("only sealed traces can be published")
+        c = trace.cols
+        for s in c.strings:
+            if "\0" in s:
+                raise TraceError(f"string table entry contains NUL: {s!r}")
+        strings_blob = "\0".join(c.strings).encode("utf-8")
+        arrays = [(n, np.ascontiguousarray(getattr(c, n)))
+                  for n in _TRACE_ARRAYS]
+        meta_arrays = []
+        payload = 0
+        for n, a in arrays:
+            meta_arrays.append({"name": n, "dtype": a.dtype.str,
+                                "shape": list(a.shape), "offset": 0})
+            payload += a.nbytes
+        meta = {"version": 1, "records": len(trace), "arrays": meta_arrays,
+                "strings_len": len(strings_blob)}
+        # two passes: sizing the JSON changes its length, so lay arrays
+        # out after a fixed-size header computed from the final JSON
+        blob = json.dumps(meta).encode()
+        off = _pad(len(_MAGIC) + 8 + len(blob) + 8 + len(strings_blob))
+        # offsets are absolute; rebuild meta with them and re-measure —
+        # offset digits can grow the JSON, so pad the header generously
+        header_guess = _pad(off + 128 * len(arrays))
+        off = header_guess
+        for m, (n, a) in zip(meta_arrays, arrays):
+            m["offset"] = off
+            off += _pad(a.nbytes)
+        total = off + _ALIGN  # slack so a trailing 0-byte array's offset
+        blob = json.dumps(meta).encode()  # stays strictly inside the buffer
+        if len(_MAGIC) + 8 + len(blob) + 8 + len(strings_blob) > header_guess:
+            raise TraceError("trace-plane header overflow")  # unreachable
+        try:
+            shm = self._new_segment(prefix, total)
+        except (OSError, PermissionError, ValueError) as exc:
+            self._disable(exc)
+            return None
+        buf = shm.buf
+        p = 0
+        buf[p:p + len(_MAGIC)] = _MAGIC
+        p += len(_MAGIC)
+        buf[p:p + 8] = len(blob).to_bytes(8, "little")
+        p += 8
+        buf[p:p + len(blob)] = blob
+        p += len(blob)
+        buf[p:p + 8] = len(strings_blob).to_bytes(8, "little")
+        p += 8
+        buf[p:p + len(strings_blob)] = strings_blob
+        for m, (n, a) in zip(meta_arrays, arrays):
+            if a.nbytes:
+                dst = np.ndarray(a.shape, dtype=a.dtype, buffer=buf,
+                                 offset=m["offset"])
+                dst[...] = a
+        ref = PlaneRef(name=shm.name, key=key, kind="trace",
+                       size=total, records=len(trace))
+        self._register_published(ref, shm, trace, transfer)
+        return ref
+
+    def publish_bytes(self, key: str, payload: bytes, *,
+                      prefix: str, transfer: bool = False) -> PlaneRef | None:
+        """Publish one opaque blob (e.g. a pickled workload), once."""
+        if not self.enabled:
+            return None
+        hit = self._by_key.get(key)
+        if hit is not None:
+            return hit
+        try:
+            shm = self._new_segment(prefix, len(payload))
+        except (OSError, PermissionError, ValueError) as exc:
+            self._disable(exc)
+            return None
+        shm.buf[:len(payload)] = payload
+        ref = PlaneRef(name=shm.name, key=key, kind="bytes",
+                       size=len(payload))
+        self._register_published(ref, shm, bytes(payload), transfer)
+        return ref
+
+    def _register_published(self, ref: PlaneRef, shm, obj,
+                            transfer: bool = False) -> None:
+        """Record a fresh segment. With ``transfer=True`` the publisher
+        disclaims unlink responsibility — the segment is destined for
+        another process (the sweep parent ``adopt``s it from a phase-A
+        worker), and the publisher only keeps a cached zero-ref mapping
+        so it can serve its own attach requests."""
+        if os.getpid() != self.owner_pid:
+            # a forked worker inherited this plane object: it is a fresh
+            # plane in spirit — reset ownership so the worker only ever
+            # unlinks what it published itself
+            self._reset_for_child()
+        self._by_key[ref.key] = ref
+        att = _Attachment(shm, obj, published=True)
+        if transfer:
+            att.refs = 0
+        else:
+            self._owned[ref.name] = shm
+        self._attached[ref.name] = att
+        self.stats["publishes"] += 1
+        self.stats["bytes_published"] += ref.size
+        self._evict()
+
+    def _reset_for_child(self) -> None:
+        self.owner_pid = os.getpid()
+        self._owned = {}
+        self._by_key = {}
+        self._attached = {}
+
+    def _disable(self, exc) -> None:
+        self.enabled = False
+        try:
+            from repro.obs.metrics import get_metrics
+            from repro.obs.runlog import get_runlog
+
+            get_metrics().counter("shm.plane_disabled").inc()
+            get_runlog().event("shm.plane_disabled", level="warn",
+                               error=f"{type(exc).__name__}: {exc}")
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------- attaching
+
+    def attach_trace(self, ref: PlaneRef) -> TraceBuffer | None:
+        """Map a published trace; returns the (process-cached) sealed
+        buffer backed by zero-copy views, or ``None`` if unattachable."""
+        att = self._attach(ref)
+        if att is None:
+            return None
+        if not isinstance(att.obj, TraceBuffer):
+            att.obj = self._build_trace(att.shm)
+        return att.obj
+
+    def attach_bytes(self, ref: PlaneRef) -> bytes | None:
+        """Read a published blob (one copy out of the segment)."""
+        att = self._attach(ref)
+        if att is None:
+            return None
+        if isinstance(att.obj, TraceBuffer):
+            raise TraceError(f"segment {ref.name} holds a trace, not bytes")
+        if att.obj is None:
+            att.obj = bytes(att.shm.buf[:ref.size])
+        return att.obj
+
+    def _attach(self, ref: PlaneRef) -> _Attachment | None:
+        att = self._attached.pop(ref.name, None)
+        if att is not None:
+            att.refs += 1
+            self._attached[ref.name] = att  # LRU re-insert at tail
+            self.stats["attaches"] += 1
+            return att
+        try:
+            shm = _open_segment(ref.name)
+        except (OSError, PermissionError, ValueError):
+            return None
+        att = _Attachment(shm, None)
+        self._attached[ref.name] = att
+        self.stats["attaches"] += 1
+        self.stats["bytes_attached"] += ref.size
+        self._evict()
+        return att
+
+    def _build_trace(self, shm) -> TraceBuffer:
+        buf = shm.buf
+        if bytes(buf[:len(_MAGIC)]) != _MAGIC:
+            raise TraceError(f"segment {shm.name} is not a trace-plane "
+                             "trace (bad magic)")
+        p = len(_MAGIC)
+        meta_len = int.from_bytes(buf[p:p + 8], "little")
+        p += 8
+        meta = json.loads(bytes(buf[p:p + meta_len]))
+        p += meta_len
+        strings_len = int.from_bytes(buf[p:p + 8], "little")
+        p += 8
+        strings = bytes(buf[p:p + strings_len]).decode("utf-8").split("\0")
+        cols = {}
+        for m in meta["arrays"]:
+            cols[m["name"]] = np.ndarray(
+                tuple(m["shape"]), dtype=np.dtype(m["dtype"]),
+                buffer=buf, offset=m["offset"])
+        return TraceBuffer.from_columns(
+            TraceColumns(strings=strings, **cols))
+
+    def detach(self, ref: PlaneRef) -> None:
+        """Drop one reference. A zero-ref mapping is *evictable*, not
+        closed: it stays cached (with its trace's classification and
+        event-plan caches) until LRU pressure or ``unlink_all`` closes
+        it — the memoization that lets every shard of a trace in one
+        worker share one mapping."""
+        att = self._attached.get(ref.name)
+        if att is not None:
+            att.refs = max(0, att.refs - 1)
+            self._evict()
+
+    def _evict(self) -> None:
+        if len(self._attached) <= ATTACH_CAP:
+            return
+        # never evict in-use or owned mappings (their unlink is still
+        # pending on this process); transferred publishes are fair game
+        evictable = [n for n, a in self._attached.items()
+                     if a.refs <= 0 and n not in self._owned]
+        while len(self._attached) > ATTACH_CAP and evictable:
+            name = evictable.pop(0)
+            self._close(self._attached.pop(name))
+            self._by_key = {k: r for k, r in self._by_key.items()
+                            if r.name != name}
+
+    @staticmethod
+    def _close(att: _Attachment) -> None:
+        att.obj = None  # views into the buffer die with the object
+        try:
+            att.shm.close()
+        except (OSError, BufferError, ValueError):
+            # a caller still holds views into the buffer; the mapping
+            # closes when they are garbage collected
+            pass
+
+    # -------------------------------------------------------------- lifecycle
+
+    def adopt(self, ref: PlaneRef) -> bool:
+        """Take unlink responsibility for a segment a worker published
+        (the sweep parent calls this as phase-A results arrive)."""
+        if ref.name in self._owned:
+            return True
+        att = self._attach(ref)
+        if att is None:
+            return False
+        self._owned[ref.name] = att.shm
+        self._by_key.setdefault(ref.key, ref)
+        return True
+
+    def release(self, ref: PlaneRef) -> None:
+        """Unlink one owned segment (idempotent; a non-owned ref is only
+        closed, never unlinked — that is its owner's job)."""
+        shm = self._owned.pop(ref.name, None)
+        att = self._attached.pop(ref.name, None)
+        self._by_key.pop(ref.key, None)
+        if shm is None:
+            if att is not None:
+                self._close(att)
+            return
+        _raw_unlink(ref.name)
+        self.stats["unlinks"] += 1
+        if att is not None:
+            self._close(att)
+        else:
+            try:
+                shm.close()
+            except (OSError, BufferError, ValueError):
+                pass
+
+    def unlink_all(self) -> None:
+        """Unlink every owned segment and close every mapping."""
+        for name, shm in list(self._owned.items()):
+            att = self._attached.pop(name, None)
+            self._owned.pop(name, None)
+            _raw_unlink(name)
+            self.stats["unlinks"] += 1
+            if att is not None:
+                self._close(att)
+            else:
+                try:
+                    shm.close()
+                except (OSError, BufferError, ValueError):
+                    pass
+        for name in list(self._attached):
+            self._close(self._attached.pop(name))
+        self._by_key.clear()
+
+
+
+# ------------------------------------------------------------------ globals
+
+#: the per-process plane (lazily created; workers inherit a fresh one)
+_plane: TracePlane | None = None
+
+
+def get_plane() -> TracePlane:
+    global _plane
+    if _plane is None:
+        _plane = TracePlane()
+        if _plane.enabled:
+            purge_stale()  # sweep leftovers of SIGKILLed earlier runs
+    return _plane
+
+
+def reset_worker_plane() -> None:
+    """Give a forked pool worker a fresh plane.
+
+    A forked child inherits the parent's plane object — including the
+    parent's ownership table, which the child must never unlink. Worker
+    initializers call this; it is a no-op in the owning process itself
+    (``run_tasks`` also runs initializers in-process before a serial
+    fallback).
+    """
+    global _plane
+    if _plane is not None and _plane.owner_pid != os.getpid():
+        _plane = TracePlane()
+
+
+def plane_prefix() -> str:
+    """Segment-name prefix carrying the sweep parent's pid: workers
+    publish under it, and crash cleanup can sweep by it."""
+    return f"repro-plane-{os.getpid()}-"
+
+
+def purge_prefix(prefix: str) -> int:
+    """Best-effort sweep of leftover same-prefix segments (crashed
+    workers published them but the parent never saw a ref). Only
+    meaningful where the OS exposes segments as files (``/dev/shm``)."""
+    shm_dir = "/dev/shm"
+    removed = 0
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return 0
+    for fname in names:
+        if fname.startswith(prefix):
+            _raw_unlink(fname)
+            removed += 1
+    return removed
+
+
+def purge_stale(prefix: str = "repro-plane-") -> int:
+    """Unlink plane segments whose embedded owner pid is dead.
+
+    The last cleanup layer: a SIGKILLed process tree runs no atexit
+    hook, so its segments survive in ``/dev/shm``. Every plane name
+    embeds its owner's pid (:func:`plane_prefix`); the next process to
+    create a plane sweeps names whose owner no longer exists. Segments
+    of live pids — including other concurrent repro runs — are left
+    alone.
+    """
+    removed = 0
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:
+        return 0
+    for fname in names:
+        if not fname.startswith(prefix):
+            continue
+        pid_s = fname[len(prefix):].split("-", 1)[0]
+        if not pid_s.isdigit() or int(pid_s) == os.getpid():
+            continue
+        try:
+            os.kill(int(pid_s), 0)
+        except ProcessLookupError:
+            _raw_unlink(fname)
+            removed += 1
+        except OSError:
+            continue  # pid alive (or not ours to probe): leave it
+    return removed
+
+
+def _atexit_cleanup() -> None:
+    if _plane is not None and os.getpid() == _plane.owner_pid:
+        _plane.unlink_all()
+        purge_prefix(plane_prefix())
+
+
+atexit.register(_atexit_cleanup)
+
+
+# --------------------------------------------------------------- workload IO
+
+def publish_workload(workload, fingerprint: str, *, payload: bytes | None
+                     = None, transfer: bool = False) -> PlaneRef | None:
+    """Publish one prepared workload's pickle under its content key.
+
+    ``payload`` lets the caller reuse the pickle it already produced for
+    :func:`repro.core.sweeps.workload_fingerprint` instead of pickling
+    twice.
+    """
+    plane = get_plane()
+    if payload is None:
+        payload = pickle.dumps(workload, protocol=4)
+    return plane.publish_bytes(f"workload:{fingerprint}", payload,
+                               prefix=plane_prefix(), transfer=transfer)
+
+
+#: per-process memo of unpickled workloads, keyed by segment name —
+#: every phase-A task of a sweep shares one deserialization per worker
+_WORKLOAD_MEMO: dict[str, object] = {}
+_WORKLOAD_MEMO_CAP = 4
+
+
+def attach_workload(ref: PlaneRef):
+    """Unpickle a published workload (memoized per process); ``None``
+    when the segment is gone or the plane is unusable."""
+    hit = _WORKLOAD_MEMO.get(ref.name)
+    if hit is not None:
+        return hit
+    data = get_plane().attach_bytes(ref)
+    if data is None:
+        return None
+    obj = pickle.loads(data)
+    while len(_WORKLOAD_MEMO) >= _WORKLOAD_MEMO_CAP:
+        _WORKLOAD_MEMO.pop(next(iter(_WORKLOAD_MEMO)))
+    _WORKLOAD_MEMO[ref.name] = obj
+    return obj

@@ -87,6 +87,26 @@ class TestPersistentPool:
         finally:
             shutdown_pool()
 
+    def test_shape_change_waits_for_old_workers(self):
+        # regression: the old pool was torn down with wait=False, leaving
+        # orphaned workers that could race state the caller frees right
+        # after (e.g. a shared-memory segment the sweep parent unlinks
+        # while the orphan is still attaching it)
+        shutdown_pool()
+        calls = {}
+
+        class _Recorder:
+            def shutdown(self, wait=False, cancel_futures=False):
+                calls["wait"] = wait
+                calls["cancel_futures"] = cancel_futures
+
+        parallel_mod._pool = ((99, None, ()), _Recorder())
+        try:
+            parallel_mod._get_pool(2, None, ())
+            assert calls == {"wait": True, "cancel_futures": True}
+        finally:
+            shutdown_pool()
+
     def test_initializer_runs_in_workers_and_persists(self):
         shutdown_pool()
         try:

@@ -1,0 +1,290 @@
+"""The sharded sweep scheduler: bit-identity, fallbacks, no leaks.
+
+The contract under test (see ``docs/parallelism.md``): running a sweep
+through the two-phase sharded scheduler over the shared-memory trace
+plane produces *exactly* the Measurement rows of the serial path — same
+cycles, same reports, same attributions, same ordering — for every
+kernel, axis and engine; and every fallback (``shm=False``,
+``REPRO_NO_SHM``, a plane that refuses to publish) degrades to the
+whole-implementation path without changing a row or leaking a segment.
+"""
+
+import os
+
+import pytest
+
+import repro.core.shm as shm_mod
+import repro.core.sweeps as sweeps_mod
+from repro.core.parallel import shutdown_pool
+from repro.core.shm import plane_prefix, shm_available
+from repro.core.sweeps import (
+    _plan_shards,
+    bandwidth_sweep,
+    latency_sweep,
+    workload_fingerprint,
+)
+from repro.kernels import KERNELS
+from repro.workloads import get_scale
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no usable shared memory on this platform")
+
+# small-but-shardable grids: >1 point so the sharded path engages, cheap
+# enough for the full kernel x engine matrix at smoke scale
+LATS = (0, 128, 512)
+BWS = (4, 32)
+VLS = (8, 32)
+
+
+def _workload(kernel):
+    spec = KERNELS[kernel]
+    return spec, spec.prepare(get_scale("smoke"), 7)
+
+
+def _rows(result):
+    """Every field that must survive sharding, in result order."""
+    out = []
+    for m in result.measurements:
+        rep = None if m.report is None else m.report.cycles
+        att = None if m.attribution is None else \
+            (m.attribution.total, dict(m.attribution.buckets))
+        out.append((m.kernel, m.impl, m.extra_latency, m.bandwidth_bpc,
+                    m.cycles, rep, att))
+    return out
+
+
+def _no_leaked_segments():
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:
+        return True
+    return not [n for n in names if n.startswith(plane_prefix())]
+
+
+@needs_shm
+class TestShardedBitIdentity:
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    @pytest.mark.parametrize("engine", ["fast", "event"])
+    def test_latency_grid(self, kernel, engine):
+        spec, workload = _workload(kernel)
+        serial = latency_sweep(spec, workload, latencies=LATS, vls=VLS,
+                               verify=False, engine=engine)
+        sharded = latency_sweep(spec, workload, latencies=LATS, vls=VLS,
+                                verify=False, engine=engine, jobs=2)
+        assert _rows(serial) == _rows(sharded)
+        assert _no_leaked_segments()
+
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    @pytest.mark.parametrize("engine", ["fast", "event"])
+    def test_bandwidth_grid(self, kernel, engine):
+        spec, workload = _workload(kernel)
+        serial = bandwidth_sweep(spec, workload, bandwidths=BWS, vls=VLS,
+                                 verify=False, engine=engine)
+        sharded = bandwidth_sweep(spec, workload, bandwidths=BWS, vls=VLS,
+                                  verify=False, engine=engine, jobs=2)
+        assert _rows(serial) == _rows(sharded)
+        assert _no_leaked_segments()
+
+    def test_event_ref_engine(self):
+        # the coroutine reference DES, the slowest and most stateful
+        # engine, shards like the others
+        spec, workload = _workload("fft")
+        serial = latency_sweep(spec, workload, latencies=LATS, vls=(8,),
+                               verify=False, engine="event-ref")
+        sharded = latency_sweep(spec, workload, latencies=LATS, vls=(8,),
+                                verify=False, engine="event-ref", jobs=2)
+        assert _rows(serial) == _rows(sharded)
+
+    def test_batch_engine_stays_fused(self):
+        # the batch engine times the whole axis in one vectorized walk:
+        # jobs>1 must keep it one task per impl (never sharded) and the
+        # rows must still match the serial path exactly
+        spec, workload = _workload("fft")
+        serial = latency_sweep(spec, workload, latencies=LATS, vls=VLS,
+                               verify=False, engine="batch")
+        fanned = latency_sweep(spec, workload, latencies=LATS, vls=VLS,
+                               verify=False, engine="batch", jobs=2)
+        assert _rows(serial) == _rows(fanned)
+        assert _no_leaked_segments()
+
+    def test_keep_reports_survive_sharding(self):
+        spec, workload = _workload("fft")
+        serial = latency_sweep(spec, workload, latencies=LATS, vls=(8,),
+                               verify=False, engine="fast",
+                               keep_reports=True)
+        sharded = latency_sweep(spec, workload, latencies=LATS, vls=(8,),
+                                verify=False, engine="fast",
+                                keep_reports=True, jobs=2)
+        assert all(m.report is not None for m in sharded.measurements)
+        assert _rows(serial) == _rows(sharded)
+
+    def test_attributions_survive_sharding(self):
+        spec, workload = _workload("fft")
+        serial = latency_sweep(spec, workload, latencies=LATS, vls=(8,),
+                               verify=False, engine="fast",
+                               attributions=True)
+        sharded = latency_sweep(spec, workload, latencies=LATS, vls=(8,),
+                                verify=False, engine="fast",
+                                attributions=True, jobs=2)
+        assert all(m.attribution is not None for m in sharded.measurements)
+        assert _rows(serial) == _rows(sharded)
+
+    def test_shard_points_override(self):
+        # one-point shards: maximum scheduler granularity, same rows
+        spec, workload = _workload("fft")
+        serial = latency_sweep(spec, workload, latencies=LATS, vls=VLS,
+                               verify=False, engine="fast")
+        sharded = latency_sweep(spec, workload, latencies=LATS, vls=VLS,
+                                verify=False, engine="fast", jobs=2,
+                                shard_points=1)
+        assert _rows(serial) == _rows(sharded)
+
+    def test_verified_sweep_shards_identically(self):
+        spec, workload = _workload("fft")
+        serial = latency_sweep(spec, workload, latencies=LATS, vls=(8,),
+                               verify=True, engine="fast")
+        sharded = latency_sweep(spec, workload, latencies=LATS, vls=(8,),
+                                verify=True, engine="fast", jobs=2)
+        assert _rows(serial) == _rows(sharded)
+
+
+class TestFallbacks:
+    def test_no_shm_flag_matches_serial_and_leaks_nothing(self):
+        spec, workload = _workload("fft")
+        serial = latency_sweep(spec, workload, latencies=LATS, vls=VLS,
+                               verify=False, engine="fast")
+        fanned = latency_sweep(spec, workload, latencies=LATS, vls=VLS,
+                               verify=False, engine="fast", jobs=2,
+                               shm=False)
+        assert _rows(serial) == _rows(fanned)
+        assert _no_leaked_segments()
+
+    def test_repro_no_shm_env_matches_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        shutdown_pool()  # running workers predate the env change
+        try:
+            spec, workload = _workload("fft")
+            serial = latency_sweep(spec, workload, latencies=LATS,
+                                   vls=(8,), verify=False, engine="fast")
+            fanned = latency_sweep(spec, workload, latencies=LATS,
+                                   vls=(8,), verify=False, engine="fast",
+                                   jobs=2)
+            assert _rows(serial) == _rows(fanned)
+        finally:
+            shutdown_pool()  # don't leave REPRO_NO_SHM workers behind
+
+    @needs_shm
+    def test_publish_failure_falls_back_to_whole_impl(self, monkeypatch):
+        # a plane that refuses every publish mid-sweep: every impl must
+        # come back through the whole-implementation fallback task, rows
+        # unchanged
+        monkeypatch.setattr(shm_mod.TracePlane, "publish_trace",
+                            lambda self, key, trace, *, prefix,
+                            transfer=False: None)
+        shutdown_pool()  # workers must see the patched plane... they
+        # won't (separate processes), so force the serial in-process path
+        # where the monkeypatch is visible
+        spec, workload = _workload("fft")
+        monkeypatch.setattr(sweeps_mod, "run_tasks",
+                            lambda fn, tasks, jobs=1, on_result=None,
+                            initializer=None, initargs=():
+                            [_run_one(fn, t, i, on_result, initializer,
+                                      initargs)
+                             for i, t in enumerate(tasks)])
+        serial_rows = _rows(latency_sweep(spec, workload, latencies=LATS,
+                                          vls=(8,), verify=False,
+                                          engine="fast"))
+        sharded_rows = _rows(latency_sweep(spec, workload, latencies=LATS,
+                                           vls=(8,), verify=False,
+                                           engine="fast", jobs=2))
+        assert serial_rows == sharded_rows
+
+
+def _run_one(fn, task, i, on_result, initializer, initargs):
+    if initializer is not None:
+        initializer(*initargs)
+    r = fn(task)
+    if on_result is not None:
+        on_result(i, r)
+    return r
+
+
+class TestShardPlanner:
+    def test_override_wins(self):
+        assert _plan_shards(7, 1000, 7000, 4, shard_points=2) == \
+            [(0, 2), (2, 4), (4, 6), (6, 7)]
+
+    def test_override_clamped_to_axis(self):
+        assert _plan_shards(3, 10, 30, 4, shard_points=99) == [(0, 3)]
+
+    def test_cost_model_scales_with_records(self):
+        # heavy impl (many records) -> small chunks; light impl -> big
+        heavy = _plan_shards(8, 10_000, 160_000, 4, None)
+        light = _plan_shards(8, 100, 160_000, 4, None)
+        assert len(heavy) > len(light)
+
+    def test_covers_axis_exactly(self):
+        for n in (1, 2, 5, 7, 13):
+            for sp in (None, 1, 3, 100):
+                shards = _plan_shards(n, 50, 50 * n * 3, 2, sp)
+                covered = [p for lo, hi in shards for p in range(lo, hi)]
+                assert covered == list(range(n))
+
+
+class TestFingerprintHoist:
+    def test_fingerprint_computed_once_per_sweep(self, monkeypatch):
+        # the satellite fix: one pickle.dumps per (kernel, workload) in
+        # the parent, not one per impl task
+        spec, workload = _workload("fft")
+        calls = []
+        real = workload_fingerprint
+
+        def counting(w, payload=None):
+            calls.append(payload is not None)
+            return real(w, payload)
+
+        monkeypatch.setattr(sweeps_mod, "workload_fingerprint", counting)
+        latency_sweep(spec, workload, latencies=LATS, vls=VLS,
+                      verify=False, engine="fast")
+        assert calls == [True]  # once, reusing the already-pickled blob
+
+    def test_hoisted_fp_reaches_cache_path(self, tmp_path, monkeypatch):
+        spec, workload = _workload("fft")
+        calls = []
+        real = workload_fingerprint
+
+        def counting(w, payload=None):
+            calls.append(1)
+            return real(w, payload)
+
+        monkeypatch.setattr(sweeps_mod, "workload_fingerprint", counting)
+        latency_sweep(spec, workload, latencies=LATS, vls=(8,),
+                      verify=False, engine="fast", trace_cache=tmp_path)
+        # serial in-process run: the hoisted fp flows into every
+        # trace_cache_path call, so the workload pickles exactly once
+        assert len(calls) == 1
+
+
+@needs_shm
+class TestProfileParallel:
+    def test_profile_jobs2_matches_serial(self):
+        from repro.obs.profile import profile_kernel
+
+        serial = profile_kernel("fft", scale="smoke", vls=(8, 32))
+        fanned = profile_kernel("fft", scale="smoke", vls=(8, 32), jobs=2)
+        assert [e.impl for e in serial.entries] == \
+            [e.impl for e in fanned.entries]
+        for a, b in zip(serial.entries, fanned.entries):
+            assert a.attribution.total == b.attribution.total
+            assert a.attribution.buckets == b.attribution.buckets
+            assert a.report.cycles == b.report.cycles
+        assert _no_leaked_segments()
+
+    def test_profile_no_shm_matches(self):
+        from repro.obs.profile import profile_kernel
+
+        serial = profile_kernel("fft", scale="smoke", vls=(8,))
+        fanned = profile_kernel("fft", scale="smoke", vls=(8,), jobs=2,
+                                shm=False)
+        for a, b in zip(serial.entries, fanned.entries):
+            assert a.attribution.total == b.attribution.total

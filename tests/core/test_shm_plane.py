@@ -1,0 +1,273 @@
+"""The shared-memory trace plane: lifecycle, cleanup, bit-identity.
+
+Covers the publish/attach/detach/release protocol (ordering, publish
+idempotence per key, ownership transfer + adoption), the layered crash
+cleanup (prefix purge for a crashed worker's orphans, dead-pid purge for
+a SIGKILLed parent's), and the load-bearing invariant of the whole
+design: a trace attached out of a segment is bit-identical to the one
+that was published — for every column of every kernel.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro.core.shm as shm_mod
+from repro.core.shm import (
+    _TRACE_ARRAYS,
+    PlaneRef,
+    TracePlane,
+    plane_prefix,
+    purge_prefix,
+    purge_stale,
+    shm_available,
+)
+from repro.core.sweeps import run_implementation
+from repro.errors import TraceError
+from repro.kernels import KERNELS
+from repro.workloads import get_scale
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no usable shared memory on this platform")
+
+_PREFIX = "repro-plane-test-"
+
+
+def _smoke_trace(kernel="fft", vl=8):
+    spec = KERNELS[kernel]
+    workload = spec.prepare(get_scale("smoke"), 7)
+    _, trace = run_implementation(spec, workload, vl, verify=False)
+    return trace
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+def _assert_traces_equal(a, b):
+    assert len(a) == len(b)
+    assert list(a.cols.strings) == list(b.cols.strings)
+    for col in _TRACE_ARRAYS:
+        assert np.array_equal(getattr(a.cols, col), getattr(b.cols, col)), \
+            f"column {col} differs"
+
+
+@needs_shm
+class TestPublishAttach:
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_attached_trace_bit_identical(self, kernel):
+        # the invariant everything else rests on: what a worker maps out
+        # of the segment is byte-for-byte the trace that was published
+        trace = _smoke_trace(kernel)
+        plane = TracePlane()
+        try:
+            ref = plane.publish_trace(f"t:{kernel}", trace, prefix=_PREFIX)
+            assert ref is not None and ref.records == len(trace)
+            other = TracePlane()  # maps the segment like a worker would
+            got = other.attach_trace(ref)
+            assert got is not None and got is not trace
+            _assert_traces_equal(trace, got)
+            other.detach(ref)
+        finally:
+            plane.unlink_all()
+
+    def test_publisher_attach_serves_original_object(self):
+        trace = _smoke_trace()
+        plane = TracePlane()
+        try:
+            ref = plane.publish_trace("t", trace, prefix=_PREFIX)
+            assert plane.attach_trace(ref) is trace  # no self-remap
+        finally:
+            plane.unlink_all()
+
+    def test_double_publish_is_idempotent(self):
+        trace = _smoke_trace()
+        plane = TracePlane()
+        try:
+            r1 = plane.publish_trace("same-key", trace, prefix=_PREFIX)
+            r2 = plane.publish_trace("same-key", trace, prefix=_PREFIX)
+            assert r1 is r2
+            assert plane.stats["publishes"] == 1
+        finally:
+            plane.unlink_all()
+
+    def test_bytes_round_trip(self):
+        plane = TracePlane()
+        try:
+            blob = b"\x00\x01payload\xff" * 100
+            ref = plane.publish_bytes("b", blob, prefix=_PREFIX)
+            other = TracePlane()
+            assert other.attach_bytes(ref) == blob
+            other.detach(ref)
+        finally:
+            plane.unlink_all()
+
+    def test_unsealed_trace_rejected(self):
+        from repro.trace.events import TraceBuffer
+
+        plane = TracePlane()
+        with pytest.raises(TraceError):
+            plane.publish_trace("k", TraceBuffer(), prefix=_PREFIX)
+
+    def test_disabled_plane_publishes_none(self):
+        plane = TracePlane(enabled=False)
+        assert plane.publish_trace("k", _smoke_trace(),
+                                   prefix=_PREFIX) is None
+        assert plane.publish_bytes("k", b"x", prefix=_PREFIX) is None
+
+    def test_repro_no_shm_disables_probe(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        assert not shm_available()
+        assert not TracePlane().enabled
+
+
+@needs_shm
+class TestLifecycleOrdering:
+    def test_release_unlinks_only_after_owner(self):
+        # attach/detach/unlink ordering: a non-owner's release closes its
+        # mapping but must never unlink — that is the owner's job
+        trace = _smoke_trace()
+        owner = TracePlane()
+        worker = TracePlane()
+        ref = owner.publish_trace("t", trace, prefix=_PREFIX)
+        try:
+            assert worker.attach_trace(ref) is not None
+            worker.detach(ref)
+            worker.release(ref)            # non-owner: close, not unlink
+            assert _segment_exists(ref.name)
+            again = TracePlane()
+            assert again.attach_trace(ref) is not None  # still there
+            again.release(ref)
+        finally:
+            owner.release(ref)             # owner: actually unlinks
+        assert not _segment_exists(ref.name)
+        assert TracePlane().attach_trace(ref) is None  # gone for good
+
+    def test_detach_keeps_mapping_cached(self):
+        # zero-ref mappings are evictable, not closed: the next attach of
+        # the same segment must serve the identical object (and with it
+        # the per-trace classification/plan caches)
+        trace = _smoke_trace()
+        owner = TracePlane()
+        worker = TracePlane()
+        try:
+            ref = owner.publish_trace("t", trace, prefix=_PREFIX)
+            first = worker.attach_trace(ref)
+            worker.detach(ref)
+            assert worker.attach_trace(ref) is first
+            worker.detach(ref)
+        finally:
+            owner.unlink_all()
+
+    def test_transfer_publish_is_adopted_not_owned(self):
+        # phase-A protocol: the publisher disclaims the segment, the
+        # parent adopts it and carries the unlink
+        trace = _smoke_trace()
+        publisher = TracePlane()
+        parent = TracePlane()
+        ref = publisher.publish_trace("t", trace, prefix=_PREFIX,
+                                      transfer=True)
+        try:
+            assert ref.name not in publisher._owned
+            publisher.unlink_all()               # publisher exit ...
+            assert _segment_exists(ref.name)     # ... must not unlink
+            assert parent.adopt(ref)
+        finally:
+            parent.release(ref)
+        assert not _segment_exists(ref.name)
+
+    def test_unlink_all_leaves_nothing(self):
+        plane = TracePlane()
+        refs = [plane.publish_trace(f"t{i}", _smoke_trace(vl=8),
+                                    prefix=_PREFIX) for i in range(3)]
+        refs.append(plane.publish_bytes("b", b"x" * 64, prefix=_PREFIX))
+        plane.unlink_all()
+        for ref in refs:
+            assert not _segment_exists(ref.name)
+        assert not [f for f in os.listdir("/dev/shm")
+                    if f.startswith(_PREFIX)]
+
+    def test_attach_cap_evicts_lru_zero_ref(self, monkeypatch):
+        monkeypatch.setattr(shm_mod, "ATTACH_CAP", 2)
+        owner = TracePlane()
+        worker = TracePlane()
+        try:
+            refs = [owner.publish_trace(f"t{i}", _smoke_trace(vl=8),
+                                        prefix=_PREFIX) for i in range(4)]
+            for ref in refs:
+                assert worker.attach_trace(ref) is not None
+                worker.detach(ref)
+            assert len(worker._attached) <= 2
+        finally:
+            owner.unlink_all()
+
+
+@needs_shm
+class TestCrashCleanup:
+    def test_purge_prefix_reaps_orphans(self):
+        # a worker published a segment then crashed before the parent saw
+        # the ref: the owner's exit hook sweeps everything by prefix
+        plane = TracePlane()
+        ref = plane.publish_trace("orphan", _smoke_trace(), prefix=_PREFIX,
+                                  transfer=True)
+        plane._attached.clear()   # simulate the crash: nobody remembers it
+        plane._by_key.clear()
+        assert _segment_exists(ref.name)
+        assert purge_prefix(_PREFIX) >= 1
+        assert not _segment_exists(ref.name)
+
+    def test_purge_stale_reaps_dead_pid_segments(self):
+        # a SIGKILLed parent runs no atexit hook; the next plane sweeps
+        # segments whose embedded owner pid no longer exists
+        proc = subprocess.run([sys.executable, "-c",
+                               "import os; print(os.getpid())"],
+                              capture_output=True, text=True, check=True)
+        dead_pid = int(proc.stdout.strip())
+        from multiprocessing import shared_memory
+
+        name = f"repro-plane-{dead_pid}-deadbeef0000"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+        shm_mod._untrack(seg)
+        seg.close()
+        try:
+            assert purge_stale() >= 1
+            assert not _segment_exists(name)
+        finally:
+            shm_mod._raw_unlink(name)  # in case the purge skipped it
+
+    def test_purge_stale_spares_live_pids(self):
+        from multiprocessing import shared_memory
+
+        name = f"repro-plane-{os.getppid()}-cafecafe0000"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+        shm_mod._untrack(seg)
+        seg.close()
+        try:
+            purge_stale()
+            assert _segment_exists(name)  # parent is alive: left alone
+        finally:
+            shm_mod._raw_unlink(name)
+
+    def test_attach_gone_segment_returns_none(self):
+        ref = PlaneRef(name=f"{_PREFIX}nonexistent", key="k",
+                       kind="trace", size=64)
+        assert TracePlane().attach_trace(ref) is None
+
+
+@needs_shm
+class TestWorkloadPlane:
+    def test_workload_round_trip_and_memo(self):
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        ref = shm_mod.publish_workload(workload, "test-fft-wl")
+        assert ref is not None
+        try:
+            got = shm_mod.attach_workload(ref)
+            assert got is not None
+            assert shm_mod.attach_workload(ref) is got  # memo hit
+        finally:
+            shm_mod.get_plane().release(ref)
+            shm_mod._WORKLOAD_MEMO.pop(ref.name, None)
