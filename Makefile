@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-paper sweep-bench figures validate \
-	examples clean lint lint-static lint-types
+	examples clean lint lint-static lint-types sanitize
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -32,6 +32,16 @@ lint-types:
 	else \
 		echo "mypy not installed (pip install -e .[lint]); skipping"; \
 	fi
+
+# sanitizer mode: the full test suite with runtime shadow tracking of
+# every shm segment and pool batch, then the aggregated verdict (any
+# R1xx finding in a per-process dump fails the lint step)
+sanitize:
+	rm -rf .sanitize && mkdir -p .sanitize
+	REPRO_SANITIZE=1 REPRO_SANITIZE_DIR=$(CURDIR)/.sanitize \
+		PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
+	PYTHONPATH=src $(PYTHON) -m repro.lint --family concurrency \
+		--sanitize-report .sanitize
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

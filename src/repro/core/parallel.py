@@ -35,10 +35,15 @@ import os
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import TypeVar
+from typing import Any, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: runtime-sanitizer hook: a ``repro.lint.sanitize.ShadowTracker`` when
+#: ``REPRO_SANITIZE=1`` (installed by repro.core.shm's import-time
+#: trigger), else ``None``
+_sanitizer: Any = None
 
 
 def default_jobs() -> int:
@@ -57,10 +62,23 @@ def resolve_jobs(jobs: int) -> int:
 #: for a different shape, torn down at interpreter exit
 _pool: tuple[tuple, ProcessPoolExecutor] | None = None
 
+#: pid that built (or last replaced) ``_pool`` — a forked child inherits
+#: the handle but must never use it: the queues belong to the parent
+_pool_pid: int = os.getpid()
 
-def _get_pool(workers: int, initializer, initargs) -> ProcessPoolExecutor:
-    global _pool
+
+def _get_pool(workers: int, initializer: Callable[..., None] | None,
+              initargs: tuple) -> ProcessPoolExecutor:
+    global _pool, _pool_pid
     key = (workers, initializer, initargs)
+    if _pool is not None and _pool_pid != os.getpid():
+        # foreign pool: this process forked after the parent built the
+        # pool. Submitting here would race the parent's own dispatch,
+        # and shutting it down would kill the parent's workers — so the
+        # handle is abandoned (never shut down) and a fresh pool built.
+        if _sanitizer is not None:
+            _sanitizer.note_foreign_pool(_pool_pid)
+        _pool = None
     if _pool is not None:
         if _pool[0] == key:
             return _pool[1]
@@ -75,6 +93,7 @@ def _get_pool(workers: int, initializer, initargs) -> ProcessPoolExecutor:
                                initializer=initializer,
                                initargs=initargs)
     _pool = (key, pool)
+    _pool_pid = os.getpid()
     return pool
 
 
@@ -141,11 +160,27 @@ def run_tasks(fn: Callable[[T], R], tasks: Sequence[T], *,
 
     def _dispatch() -> list[R]:
         pool = _get_pool(jobs, initializer, initargs)
-        futures = [pool.submit(fn, t) for t in tasks]
-        index = {f: i for i, f in enumerate(futures)}
-        for f in as_completed(futures):
-            _report(index[f], f.result())
-        return [f.result() for f in futures]
+        trk = _sanitizer
+        bid = trk.note_batch_begin(jobs, len(tasks)) if trk is not None \
+            else 0
+        completed = 0
+        status = "ok"
+        try:
+            futures = [pool.submit(fn, t) for t in tasks]
+            index = {f: i for i, f in enumerate(futures)}
+            for f in as_completed(futures):
+                _report(index[f], f.result())
+                completed += 1
+            return [f.result() for f in futures]
+        except BrokenProcessPool:
+            status = "broken"
+            raise
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            if trk is not None:
+                trk.note_batch_end(bid, status, completed, len(tasks))
 
     try:
         try:
@@ -166,7 +201,7 @@ def run_tasks(fn: Callable[[T], R], tasks: Sequence[T], *,
         return _serial()
 
 
-def _note_pool_event(name: str, **attrs) -> None:
+def _note_pool_event(name: str, **attrs: Any) -> None:
     """Surface a pool failure: metrics counter + structured run-log event
     (replacing what used to be a silent rebuild)."""
     from repro.obs.metrics import get_metrics

@@ -63,7 +63,10 @@ import json
 import os
 import pickle
 import uuid
+from collections.abc import Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -85,6 +88,16 @@ _TRACE_ARRAYS = (
 #: implementation count (scalar + six VLs) or mid-sweep eviction thrashes
 #: the per-trace plan caches; evicted mappings are closed, not unlinked
 ATTACH_CAP = 16
+
+#: runtime-sanitizer hook: a ``repro.lint.sanitize.ShadowTracker`` when
+#: ``REPRO_SANITIZE=1`` (installed at the bottom of this module), else
+#: ``None`` — the disabled cost is one global load per lifecycle call
+_sanitizer: Any = None
+
+#: names this process already unlinked: the already-released fast path
+#: that makes :func:`_raw_unlink` idempotent without re-probing the OS
+_UNLINKED: set[str] = set()
+_UNLINKED_CAP = 8192
 
 
 def shm_available() -> bool:
@@ -121,7 +134,7 @@ class _Attachment:
 
     __slots__ = ("shm", "obj", "refs", "published")
 
-    def __init__(self, shm, obj, *, published: bool = False) -> None:
+    def __init__(self, shm: Any, obj: Any, *, published: bool = False) -> None:
         self.shm = shm
         self.obj = obj          # TraceBuffer or bytes, lazily built
         self.refs = 1
@@ -132,7 +145,7 @@ def _pad(n: int) -> int:
     return (n + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
-def _untrack(shm) -> None:
+def _untrack(shm: Any) -> None:
     """Withdraw a segment from CPython's resource tracker.
 
     Before 3.13 (``track=False``), creating *or attaching* a POSIX
@@ -161,7 +174,7 @@ class _Mapping:
 
     __slots__ = ("name", "_mmap", "buf")
 
-    def __init__(self, name: str, mm) -> None:
+    def __init__(self, name: str, mm: Any) -> None:
         self.name = name
         self._mmap = mm
         self.buf = memoryview(mm)
@@ -174,7 +187,7 @@ class _Mapping:
         _raw_unlink(self.name)
 
 
-def _open_segment(name: str):
+def _open_segment(name: str) -> Any:
     """Attach to an existing segment without tracker side effects."""
     try:
         import mmap as _mmap_mod
@@ -199,7 +212,22 @@ def _open_segment(name: str):
 
 
 def _raw_unlink(name: str) -> None:
-    """Remove a segment's name (idempotent, no tracker interaction)."""
+    """Remove a segment's name (idempotent, no tracker interaction).
+
+    A name this process already unlinked returns on an explicit fast
+    path instead of re-probing the OS; the EAFP handling below still
+    backstops names other processes removed. The sanitizer sees the
+    attempt *before* the fast path — a second unlink is a caller bug
+    (R103) even when it is absorbed here.
+    """
+    first = name not in _UNLINKED
+    if _sanitizer is not None:
+        _sanitizer.note_unlink(name, first=first)
+    if not first:
+        return
+    if len(_UNLINKED) >= _UNLINKED_CAP:
+        _UNLINKED.clear()  # bound memory; the EAFP path below backstops
+    _UNLINKED.add(name)
     try:
         import _posixshmem
 
@@ -246,7 +274,7 @@ class TracePlane:
 
     # ------------------------------------------------------------ publishing
 
-    def _new_segment(self, prefix: str, size: int):
+    def _new_segment(self, prefix: str, size: int) -> Any:
         from multiprocessing import shared_memory
 
         name = f"{prefix}{uuid.uuid4().hex[:12]}"
@@ -341,7 +369,7 @@ class TracePlane:
         self._register_published(ref, shm, bytes(payload), transfer)
         return ref
 
-    def _register_published(self, ref: PlaneRef, shm, obj,
+    def _register_published(self, ref: PlaneRef, shm: Any, obj: Any,
                             transfer: bool = False) -> None:
         """Record a fresh segment. With ``transfer=True`` the publisher
         disclaims unlink responsibility — the segment is destined for
@@ -362,6 +390,8 @@ class TracePlane:
         self._attached[ref.name] = att
         self.stats["publishes"] += 1
         self.stats["bytes_published"] += ref.size
+        if _sanitizer is not None:
+            _sanitizer.note_publish(ref.name, ref.key, ref.size, transfer)
         self._evict()
 
     def _reset_for_child(self) -> None:
@@ -370,7 +400,7 @@ class TracePlane:
         self._by_key = {}
         self._attached = {}
 
-    def _disable(self, exc) -> None:
+    def _disable(self, exc: BaseException) -> None:
         self.enabled = False
         try:
             from repro.obs.metrics import get_metrics
@@ -405,12 +435,37 @@ class TracePlane:
             att.obj = bytes(att.shm.buf[:ref.size])
         return att.obj
 
+    @contextmanager
+    def attached_trace(self, ref: PlaneRef) -> Iterator[TraceBuffer | None]:
+        """Scoped :meth:`attach_trace`: the reference is dropped on block
+        exit, so the mapping can never outlive its use by accident.
+        Views built inside stay valid as long as the mapping itself
+        survives — e.g. when the caller also adopted the ref, which pins
+        the mapping until ``release``."""
+        obj = self.attach_trace(ref)
+        try:
+            yield obj
+        finally:
+            self.detach(ref)  # no-op when the attach failed
+
+    @contextmanager
+    def attached_bytes(self, ref: PlaneRef) -> Iterator[bytes | None]:
+        """Scoped :meth:`attach_bytes` (the blob is a copy, so it stays
+        usable after the block)."""
+        obj = self.attach_bytes(ref)
+        try:
+            yield obj
+        finally:
+            self.detach(ref)  # no-op when the attach failed
+
     def _attach(self, ref: PlaneRef) -> _Attachment | None:
         att = self._attached.pop(ref.name, None)
         if att is not None:
             att.refs += 1
             self._attached[ref.name] = att  # LRU re-insert at tail
             self.stats["attaches"] += 1
+            if _sanitizer is not None:
+                _sanitizer.note_attach(ref.name, ref.size)
             return att
         try:
             shm = _open_segment(ref.name)
@@ -420,10 +475,12 @@ class TracePlane:
         self._attached[ref.name] = att
         self.stats["attaches"] += 1
         self.stats["bytes_attached"] += ref.size
+        if _sanitizer is not None:
+            _sanitizer.note_attach(ref.name, ref.size)
         self._evict()
         return att
 
-    def _build_trace(self, shm) -> TraceBuffer:
+    def _build_trace(self, shm: Any) -> TraceBuffer:
         buf = shm.buf
         if bytes(buf[:len(_MAGIC)]) != _MAGIC:
             raise TraceError(f"segment {shm.name} is not a trace-plane "
@@ -453,6 +510,8 @@ class TracePlane:
         att = self._attached.get(ref.name)
         if att is not None:
             att.refs = max(0, att.refs - 1)
+            if _sanitizer is not None:
+                _sanitizer.note_detach(ref.name)
             self._evict()
 
     def _evict(self) -> None:
@@ -490,11 +549,15 @@ class TracePlane:
             return False
         self._owned[ref.name] = att.shm
         self._by_key.setdefault(ref.key, ref)
+        if _sanitizer is not None:
+            _sanitizer.note_adopt(ref.name)
         return True
 
     def release(self, ref: PlaneRef) -> None:
         """Unlink one owned segment (idempotent; a non-owned ref is only
         closed, never unlinked — that is its owner's job)."""
+        if _sanitizer is not None:
+            _sanitizer.note_release(ref.name, ref.name in self._owned)
         shm = self._owned.pop(ref.name, None)
         att = self._attached.pop(ref.name, None)
         self._by_key.pop(ref.key, None)
@@ -573,12 +636,15 @@ def purge_prefix(prefix: str) -> int:
     meaningful where the OS exposes segments as files (``/dev/shm``)."""
     shm_dir = "/dev/shm"
     removed = 0
+    ours = prefix == plane_prefix()
     try:
         names = os.listdir(shm_dir)
     except OSError:
         return 0
     for fname in names:
         if fname.startswith(prefix):
+            if _sanitizer is not None:
+                _sanitizer.note_purge(fname, ours)
             _raw_unlink(fname)
             removed += 1
     return removed
@@ -608,6 +674,8 @@ def purge_stale(prefix: str = "repro-plane-") -> int:
         try:
             os.kill(int(pid_s), 0)
         except ProcessLookupError:
+            if _sanitizer is not None:
+                _sanitizer.note_purge(fname, False)
             _raw_unlink(fname)
             removed += 1
         except OSError:
@@ -626,8 +694,9 @@ atexit.register(_atexit_cleanup)
 
 # --------------------------------------------------------------- workload IO
 
-def publish_workload(workload, fingerprint: str, *, payload: bytes | None
-                     = None, transfer: bool = False) -> PlaneRef | None:
+def publish_workload(workload: Any, fingerprint: str, *,
+                     payload: bytes | None = None,
+                     transfer: bool = False) -> PlaneRef | None:
     """Publish one prepared workload's pickle under its content key.
 
     ``payload`` lets the caller reuse the pickle it already produced for
@@ -647,17 +716,31 @@ _WORKLOAD_MEMO: dict[str, object] = {}
 _WORKLOAD_MEMO_CAP = 4
 
 
-def attach_workload(ref: PlaneRef):
+def attach_workload(ref: PlaneRef) -> Any:
     """Unpickle a published workload (memoized per process); ``None``
-    when the segment is gone or the plane is unusable."""
+    when the segment is gone or the plane is unusable. The attachment is
+    scoped: the blob is copied out, so nothing needs to keep the mapping
+    pinned once the pickle is decoded."""
     hit = _WORKLOAD_MEMO.get(ref.name)
     if hit is not None:
         return hit
-    data = get_plane().attach_bytes(ref)
-    if data is None:
-        return None
-    obj = pickle.loads(data)
+    with get_plane().attached_bytes(ref) as data:
+        if data is None:
+            return None
+        obj = pickle.loads(data)
     while len(_WORKLOAD_MEMO) >= _WORKLOAD_MEMO_CAP:
         _WORKLOAD_MEMO.pop(next(iter(_WORKLOAD_MEMO)))
     _WORKLOAD_MEMO[ref.name] = obj
     return obj
+
+
+# ---------------------------------------------------------------- sanitizer
+
+if os.environ.get("REPRO_SANITIZE"):
+    # installs the shadow tracker into this module's ``_sanitizer`` hook
+    # (and repro.core.parallel's), takes over the atexit slot so leak
+    # evaluation brackets the cleanup above, and arranges per-worker
+    # dumps; see repro.lint.sanitize
+    from repro.lint import sanitize as _sanitize_mod
+
+    _sanitize_mod.install(os.environ.get("REPRO_SANITIZE_DIR"))

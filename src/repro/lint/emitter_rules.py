@@ -17,11 +17,11 @@ ids, or ``disable=all``) to the flagged line.
 from __future__ import annotations
 
 import ast
-import re
 from pathlib import Path
 
 from repro.lint.findings import Finding
 from repro.lint.rules import finding
+from repro.lint.suppress import SuppressionIndex
 from repro.util.mathx import is_pow2
 
 #: dotted call names that read the wall clock (E001).
@@ -62,22 +62,6 @@ _CSR_STATE = {"_vl", "_max_vl", "_hw_max_vl", "_sew", "_lmul"}
 #: the CSR address map (E006: these literals belong to isa/csr.py).
 _CSR_ADDRS = {0xC20, 0xC21, 0x7C0, 0xC00}
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+|all)")
-
-
-def _suppressed(lines: list[str], lineno: int, rule: str) -> bool:
-    if not 1 <= lineno <= len(lines):
-        return False
-    m = _SUPPRESS_RE.search(lines[lineno - 1])
-    if not m:
-        return False
-    spec = m.group(1).strip()
-    if spec == "all":
-        return True
-    return rule in {r.strip() for r in spec.split(",")}
-
-
 def _dotted(node: ast.expr) -> str:
     """Best-effort dotted name of a call target ('np.random.rand')."""
     parts: list[str] = []
@@ -91,16 +75,18 @@ def _dotted(node: ast.expr) -> str:
 
 class _EmitterVisitor(ast.NodeVisitor):
     def __init__(self, path: str, lines: list[str], *,
-                 in_isa_csr: bool, hot_path_rules: bool) -> None:
+                 in_isa_csr: bool, hot_path_rules: bool,
+                 sup: SuppressionIndex | None = None) -> None:
         self.path = path
         self.lines = lines
         self.in_isa_csr = in_isa_csr
         self.hot_path_rules = hot_path_rules
+        self.sup = sup if sup is not None else SuppressionIndex(path, lines)
         self.loop_depth = 0
         self.findings: list[Finding] = []
 
     def _report(self, rule: str, node: ast.AST, message: str) -> None:
-        if _suppressed(self.lines, node.lineno, rule):
+        if self.sup.suppresses(node.lineno, rule):
             return
         self.findings.append(
             finding(rule, f"{self.path}:{node.lineno}", message))
@@ -233,6 +219,8 @@ def lint_source(path: str | Path, text: str | None = None, *,
         hot_path_rules=hot_path_rules,
     )
     visitor.visit(tree)
+    # unknown-rule / never-fired suppressions rot visibly (W001/W002)
+    visitor.findings.extend(visitor.sup.audit())
     return visitor.findings
 
 

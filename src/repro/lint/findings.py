@@ -17,7 +17,21 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 #: schema tag of the JSON report (bump on incompatible layout changes).
-REPORT_SCHEMA = "repro.lint/1"
+#: v2 adds per-finding ``category`` + optional ``pid`` and a report-level
+#: ``meta`` block; ``--format json-v1`` still emits the v1 layout.
+REPORT_SCHEMA = "repro.lint/2"
+REPORT_SCHEMA_V1 = "repro.lint/1"
+
+#: rule-id prefix -> pass category (the v2 per-finding ``category`` key).
+_CATEGORIES = {
+    "T": "trace", "E": "emitter", "C": "config", "S": "cache",
+    "O": "artifact", "P": "concurrency", "R": "sanitizer", "W": "hygiene",
+}
+
+
+def category_of(rule: str) -> str:
+    """Pass category of a rule id (``'P101' -> 'concurrency'``)."""
+    return _CATEGORIES.get(rule[:1], "other") if rule else "other"
 
 
 class Severity(enum.IntEnum):
@@ -40,15 +54,18 @@ class Finding:
     location: str
     message: str
     hint: str = ""
+    pid: int = 0   # originating process (runtime-sanitizer findings)
 
     def render(self) -> str:
         text = f"{self.severity.name:<7} {self.rule} {self.location}: " \
                f"{self.message}"
+        if self.pid:
+            text += f"  [pid {self.pid}]"
         if self.hint:
             text += f"  [hint: {self.hint}]"
         return text
 
-    def to_dict(self) -> dict:
+    def to_dict(self, *, version: int = 2) -> dict:
         d = {
             "rule": self.rule,
             "severity": self.severity.name,
@@ -57,6 +74,10 @@ class Finding:
         }
         if self.hint:
             d["hint"] = self.hint
+        if version >= 2:
+            d["category"] = category_of(self.rule)
+            if self.pid:
+                d["pid"] = self.pid
         return d
 
 
@@ -65,6 +86,9 @@ class FindingsReport:
 
     def __init__(self, findings: Iterable[Finding] = ()) -> None:
         self.findings: list[Finding] = list(findings)
+        #: run metadata surfaced in the v2 JSON report (families run,
+        #: elapsed time, template count — whatever the runner records)
+        self.meta: dict = {}
 
     # ------------------------------------------------------------ building
 
@@ -83,8 +107,10 @@ class FindingsReport:
     def ignoring(self, rules: Iterable[str]) -> "FindingsReport":
         """Copy of this report without findings from the given rule ids."""
         drop = set(rules)
-        return FindingsReport(f for f in self.findings
-                              if f.rule not in drop)
+        out = FindingsReport(f for f in self.findings
+                             if f.rule not in drop)
+        out.meta = dict(self.meta)
+        return out
 
     def by_severity(self, severity: Severity) -> list[Finding]:
         return [f for f in self.findings if f.severity == severity]
@@ -131,13 +157,17 @@ class FindingsReport:
         lines.append(self.summary())
         return "\n".join(lines)
 
-    def to_dict(self) -> dict:
-        return {
-            "schema": REPORT_SCHEMA,
+    def to_dict(self, *, version: int = 2) -> dict:
+        d = {
+            "schema": REPORT_SCHEMA if version >= 2 else REPORT_SCHEMA_V1,
             "counts": self.counts(),
             "exit_code": self.exit_code(),
-            "findings": [f.to_dict() for f in self.findings],
+            "findings": [f.to_dict(version=version)
+                         for f in self.findings],
         }
+        if version >= 2 and self.meta:
+            d["meta"] = dict(self.meta)
+        return d
 
-    def to_json(self, indent: int | None = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+    def to_json(self, indent: int | None = 2, *, version: int = 2) -> str:
+        return json.dumps(self.to_dict(version=version), indent=indent)

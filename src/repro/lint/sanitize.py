@@ -1,0 +1,456 @@
+"""Runtime sanitizer: shadow-state tracking of the shm plane and pool.
+
+``REPRO_SANITIZE=1`` installs a :class:`ShadowTracker` into thin hooks
+inside :mod:`repro.core.shm` and :mod:`repro.core.parallel` (one global
+load + ``None`` check when disabled — unmeasurable, see
+``benchmarks/bench_obs_overhead.py``). The tracker mirrors every
+segment's lifecycle — publishes, per-process attach/detach refcount
+history, adoptions, releases, unlink attempts, purges — plus pool batch
+submit/drain accounting, entirely independent of the plane's own
+bookkeeping, so a divergence between the two is a finding:
+
+* ``R101`` — a segment this process owned was never unlinked by exit
+  (or exit cleanup reclaimed segments under this process's prefix);
+* ``R102`` — more attaches than detaches on a segment that was never
+  settled by a local unlink (a pinned mapping);
+* ``R103`` — a second unlink attempt for a name this process already
+  unlinked (the already-released fast path absorbs it; the caller is
+  still buggy);
+* ``R104`` — a release for a segment this process never published,
+  attached or adopted;
+* ``R105`` — a pool batch that completed fewer futures than it
+  submitted without a broken-pool error, or was still open at exit;
+* ``R106`` — a forked process submitting to its parent's pool.
+
+Findings ride the standard :mod:`repro.lint.findings` pipeline. Each
+process (the parent *and* every pool worker — forked children run
+:mod:`multiprocessing.util` finalizers, not :mod:`atexit`) dumps a
+``sanitize-<pid>-<nonce>.json`` payload into ``REPRO_SANITIZE_DIR`` at
+exit; ``repro-sdv lint --sanitize-report <dir>`` aggregates the dumps
+into one report with the usual exit-1-iff-ERROR contract. Without a
+dump directory, findings print to stderr at exit.
+
+Fork-safety: hooks compare ``os.getpid()`` against the tracker's pid on
+every call, so a child inheriting the parent's tracker starts from a
+clean slate instead of double-counting the parent's segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import sys
+import uuid
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from repro.lint.findings import Finding, FindingsReport, Severity
+from repro.lint.rules import RULES, finding
+
+#: schema tag of the per-process dump payload.
+SANITIZE_SCHEMA = "repro.sanitize/1"
+
+#: per-segment lifecycle-event history bound (memory, not correctness).
+_EVENT_CAP = 64
+
+#: segments listed per dump payload (counters stay exact regardless).
+_SEGMENT_CAP = 256
+
+
+class _Seg:
+    """Shadow state of one segment, as seen by this process."""
+
+    __slots__ = ("name", "key", "size", "transfer", "owned", "adopted",
+                 "attaches", "detaches", "releases", "unlinked", "events")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.key = ""
+        self.size = 0
+        self.transfer = False
+        self.owned = False
+        self.adopted = False
+        self.attaches = 0
+        self.detaches = 0
+        self.releases = 0
+        self.unlinked = False
+        self.events: list[str] = []
+
+    def note(self, event: str) -> None:
+        if len(self.events) < _EVENT_CAP:
+            self.events.append(event)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "key": self.key, "size": self.size, "transfer": self.transfer,
+            "owned": self.owned, "adopted": self.adopted,
+            "attaches": self.attaches, "detaches": self.detaches,
+            "releases": self.releases, "unlinked": self.unlinked,
+            "events": list(self.events),
+        }
+
+
+class ShadowTracker:
+    """The per-process shadow state behind the shm/pool hooks."""
+
+    def __init__(self, dump_dir: str | None = None) -> None:
+        self.dump_dir = dump_dir
+        self._reset()
+
+    def _reset(self) -> None:
+        self.pid = os.getpid()
+        self.segments: dict[str, _Seg] = {}
+        self.counters: Counter[str] = Counter()
+        #: findings recorded the moment the violation happened
+        self.violations: list[Finding] = []
+        self.open_batches: dict[int, dict[str, Any]] = {}
+        self._next_batch = 0
+        self.in_exit = False
+        self._leak_snapshot: list[_Seg] = []
+        self.exit_reclaimed: list[str] = []
+
+    def _fork_check(self) -> None:
+        # a forked child inherited this object: its records describe the
+        # parent; start the child from a clean slate
+        if os.getpid() != self.pid:
+            self._reset()
+
+    def _seg(self, name: str) -> _Seg:
+        seg = self.segments.get(name)
+        if seg is None:
+            seg = self.segments[name] = _Seg(name)
+        return seg
+
+    def _violate(self, rule: str, location: str, message: str) -> None:
+        r = RULES[rule]
+        self.violations.append(Finding(
+            rule=rule, severity=r.severity, location=location,
+            message=message, hint=r.hint, pid=self.pid))
+        self.counters[f"violations.{rule}"] += 1
+
+    # ------------------------------------------------------- shm hooks
+
+    def note_publish(self, name: str, key: str, size: int,
+                     transfer: bool) -> None:
+        self._fork_check()
+        seg = self._seg(name)
+        seg.key, seg.size, seg.transfer = key, size, transfer
+        seg.owned = not transfer
+        seg.note("publish[transfer]" if transfer else "publish")
+        self.counters["publishes"] += 1
+
+    def note_attach(self, name: str, size: int) -> None:
+        self._fork_check()
+        seg = self._seg(name)
+        seg.size = seg.size or size
+        seg.attaches += 1
+        seg.note(f"attach->{seg.attaches - seg.detaches}")
+        self.counters["attaches"] += 1
+
+    def note_detach(self, name: str) -> None:
+        self._fork_check()
+        seg = self.segments.get(name)
+        if seg is None:
+            self.counters["spurious_detaches"] += 1
+            return
+        seg.detaches += 1
+        seg.note(f"detach->{seg.attaches - seg.detaches}")
+        self.counters["detaches"] += 1
+
+    def note_adopt(self, name: str) -> None:
+        self._fork_check()
+        seg = self._seg(name)
+        seg.owned = True
+        seg.adopted = True
+        seg.note("adopt")
+        self.counters["adopts"] += 1
+
+    def note_release(self, name: str, owned: bool) -> None:
+        self._fork_check()
+        seg = self.segments.get(name)
+        if seg is None:
+            self._violate(
+                "R104", f"shm:{name}",
+                "release() for a segment this process never published, "
+                "attached or adopted")
+            return
+        seg.releases += 1
+        seg.note("release[owner]" if owned else "release")
+        self.counters["releases"] += 1
+
+    def note_unlink(self, name: str, first: bool) -> None:
+        self._fork_check()
+        if not first:
+            self._violate(
+                "R103", f"shm:{name}",
+                "second unlink attempt for a name this process already "
+                "unlinked (absorbed by the already-released fast path)")
+            return
+        self.counters["unlinks"] += 1
+        seg = self.segments.get(name)
+        if seg is not None:
+            seg.unlinked = True
+            seg.note("unlink")
+
+    def note_purge(self, name: str, ours: bool) -> None:
+        self._fork_check()
+        self.counters["purged"] += 1
+        if self.in_exit and ours:
+            # exit cleanup had to reclaim a segment under this very
+            # process's prefix: something skipped its release path
+            self.exit_reclaimed.append(name)
+
+    # ------------------------------------------------------ pool hooks
+
+    def note_batch_begin(self, jobs: int, tasks: int) -> int:
+        self._fork_check()
+        self._next_batch += 1
+        bid = self._next_batch
+        self.open_batches[bid] = {"jobs": jobs, "tasks": tasks}
+        self.counters["pool_batches"] += 1
+        return bid
+
+    def note_batch_end(self, bid: int, status: str, completed: int,
+                       submitted: int) -> None:
+        self._fork_check()
+        if self.open_batches.pop(bid, None) is None:
+            return
+        self.counters[f"pool_batch_{status}"] += 1
+        if status == "ok" and completed < submitted:
+            self._violate(
+                "R105", "parallel:run_tasks",
+                f"pool batch drained {completed} of {submitted} futures "
+                "without a broken-pool error")
+
+    def note_foreign_pool(self, creator_pid: int) -> None:
+        self._fork_check()
+        self._violate(
+            "R106", "parallel:_get_pool",
+            f"process {os.getpid()} found a pool created by pid "
+            f"{creator_pid}; the handle was abandoned and rebuilt")
+
+    # ------------------------------------------------------- reporting
+
+    def begin_exit(self) -> None:
+        """Enter the exit phase: snapshot what is still owned *before*
+        the layered exit cleanup runs, so cleanup's own unlinks cannot
+        retroactively hide a leak."""
+        self._fork_check()
+        self.in_exit = True
+        self._leak_snapshot = [s for s in self.segments.values()
+                               if s.owned and not s.unlinked]
+
+    def findings(self) -> list[Finding]:
+        out = list(self.violations)
+        if not self.in_exit:
+            return out
+        reported: set[str] = set()
+        for seg in self._leak_snapshot:
+            reported.add(seg.name)
+            out.append(Finding(
+                rule="R101", severity=Severity.ERROR,
+                location=f"shm:{seg.name}",
+                message=f"owned segment (key '{seg.key}', {seg.size} B) "
+                        "was still live when the process exited",
+                hint=RULES["R101"].hint, pid=self.pid))
+        for name in self.exit_reclaimed:
+            if name in reported:
+                continue
+            reported.add(name)
+            out.append(Finding(
+                rule="R101", severity=Severity.ERROR,
+                location=f"shm:{name}",
+                message="exit cleanup reclaimed a segment under this "
+                        "process's own prefix — a release path was "
+                        "skipped",
+                hint=RULES["R101"].hint, pid=self.pid))
+        for seg in self.segments.values():
+            if not seg.unlinked and seg.attaches > seg.detaches:
+                out.append(Finding(
+                    rule="R102", severity=Severity.ERROR,
+                    location=f"shm:{seg.name}",
+                    message=f"{seg.attaches} attaches vs {seg.detaches} "
+                            "detaches with no settling unlink "
+                            f"(history: {' '.join(seg.events)})",
+                    hint=RULES["R102"].hint, pid=self.pid))
+        for bid, b in self.open_batches.items():
+            out.append(Finding(
+                rule="R105", severity=Severity.ERROR,
+                location="parallel:run_tasks",
+                message=f"pool batch #{bid} ({b['tasks']} tasks, "
+                        f"jobs={b['jobs']}) was still open at exit",
+                hint=RULES["R105"].hint, pid=self.pid))
+        return out
+
+    def report(self) -> FindingsReport:
+        rep = FindingsReport(self.findings())
+        rep.meta = {"sanitize": dict(self.counters), "pid": self.pid}
+        return rep
+
+    def to_payload(self) -> dict[str, Any]:
+        segs = dict(list(self.segments.items())[:_SEGMENT_CAP])
+        return {
+            "schema": SANITIZE_SCHEMA,
+            "pid": self.pid,
+            "counters": dict(self.counters),
+            "findings": [f.to_dict() for f in self.findings()],
+            "segments": {n: s.summary() for n, s in segs.items()},
+            "segments_truncated": len(self.segments) - len(segs),
+        }
+
+    def dump(self, dirpath: str | None = None) -> Path | None:
+        """Write this process's payload; returns the file path."""
+        d = dirpath or self.dump_dir
+        if not d:
+            return None
+        try:
+            out = Path(d)
+            out.mkdir(parents=True, exist_ok=True)
+            path = out / f"sanitize-{self.pid}-{uuid.uuid4().hex[:8]}.json"
+            path.write_text(json.dumps(self.to_payload(), indent=2),
+                            encoding="utf-8")
+            return path
+        except OSError:
+            return None
+
+
+# ---------------------------------------------------------- installation
+
+_TRACKER: ShadowTracker | None = None
+_INSTALL_PID: int | None = None
+
+
+def get_tracker() -> ShadowTracker | None:
+    return _TRACKER
+
+
+def enabled() -> bool:
+    return _TRACKER is not None
+
+
+def install(dump_dir: str | None = None) -> ShadowTracker:
+    """Create the process tracker and wire it into the shm/pool hooks
+    (idempotent). Called from :mod:`repro.core.shm` at import when
+    ``REPRO_SANITIZE=1``, or explicitly by tests."""
+    global _TRACKER, _INSTALL_PID
+    if _TRACKER is not None:
+        return _TRACKER
+    tracker = ShadowTracker(dump_dir)
+    _TRACKER = tracker
+    _INSTALL_PID = os.getpid()
+
+    import repro.core.parallel as parallel_mod
+    import repro.core.shm as shm_mod
+
+    shm_mod._sanitizer = tracker
+    parallel_mod._sanitizer = tracker
+
+    # exit ordering: the plane's own atexit cleanup must run *between*
+    # begin_exit (leak snapshot) and the report, so take over its slot
+    try:
+        atexit.unregister(shm_mod._atexit_cleanup)
+    except Exception:
+        pass
+    atexit.register(_parent_exit)
+    try:
+        # forked pool workers skip atexit but do run multiprocessing
+        # finalizers on their way out; Process._bootstrap *clears*
+        # inherited finalizers, so the worker-exit dump has to be
+        # (re-)registered on the child's side of the fork
+        from multiprocessing import util
+
+        util.register_after_fork(tracker, _after_fork)
+    except Exception:
+        pass
+    return tracker
+
+
+def _after_fork(_tracker: ShadowTracker) -> None:
+    """Runs in every freshly forked child: arrange the worker dump."""
+    try:
+        from multiprocessing import util
+
+        util.Finalize(None, _worker_exit, exitpriority=5)
+    except Exception:
+        pass
+
+
+def _finish(tracker: ShadowTracker) -> None:
+    found = tracker.findings()
+    try:
+        from repro.obs.metrics import get_metrics
+        from repro.obs.runlog import get_runlog
+
+        get_metrics().counter("sanitize.findings").inc(len(found))
+        get_runlog().event("sanitize.report", pid=tracker.pid,
+                           findings=len(found),
+                           counters=dict(tracker.counters))
+    except Exception:
+        pass
+    if tracker.dump_dir:
+        tracker.dump()
+    elif found:
+        print(tracker.report().render_text(), file=sys.stderr)
+
+
+def _parent_exit() -> None:
+    tracker = _TRACKER
+    if tracker is None or os.getpid() != _INSTALL_PID:
+        return
+    tracker.begin_exit()
+    try:
+        import repro.core.shm as shm_mod
+
+        shm_mod._atexit_cleanup()
+    except Exception:
+        pass
+    _finish(tracker)
+
+
+def _worker_exit() -> None:
+    tracker = _TRACKER
+    if tracker is None or os.getpid() == _INSTALL_PID:
+        return
+    # never run the parent's cleanup here: a worker purging the shared
+    # prefix would unlink segments the parent still owns
+    tracker.begin_exit()
+    _finish(tracker)
+
+
+# ----------------------------------------------------------- aggregation
+
+def report_from_dir(dirpath: str) -> list[Finding]:
+    """Aggregate per-process sanitizer dumps into findings (the
+    ``--sanitize-report`` flag). A directory without dumps is itself a
+    WARNING — the sanitized run probably never happened."""
+    d = Path(dirpath)
+    dumps = sorted(d.glob("sanitize-*.json")) if d.is_dir() else []
+    if not dumps:
+        return [finding("W003", str(dirpath),
+                        "no sanitize-*.json dumps found")]
+    out: list[Finding] = []
+    for path in dumps:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            out.append(finding("W003", str(path),
+                               f"unreadable sanitizer dump: {exc}"))
+            continue
+        if doc.get("schema") != SANITIZE_SCHEMA:
+            out.append(finding(
+                "W003", str(path),
+                f"unsupported dump schema {doc.get('schema')!r} "
+                f"(expected {SANITIZE_SCHEMA})"))
+            continue
+        pid = int(doc.get("pid", 0))
+        for f in doc.get("findings", ()):
+            out.append(Finding(
+                rule=str(f.get("rule", "R101")),
+                severity=Severity[str(f.get("severity", "ERROR"))],
+                location=str(f.get("location", str(path))),
+                message=str(f.get("message", "")),
+                hint=str(f.get("hint", "")),
+                pid=int(f.get("pid", pid))))
+    return out

@@ -199,9 +199,11 @@ def _generate_traces_parallel(spec, workload, impl_vls, *, verify: bool,
         if out.ref is None or not plane.adopt(out.ref):
             continue
         refs.append(out.ref)
-        trace = plane.attach_trace(out.ref)
-        if trace is not None:
-            traces[vl] = trace
+        # scoped attach: the adopted ref pins the mapping until release,
+        # so the views in `traces` stay valid past the detach
+        with plane.attached_trace(out.ref) as trace:
+            if trace is not None:
+                traces[vl] = trace
     runlog.event("profile.shm_published", kernel=spec.name,
                  segments=len(refs), bytes=sum(r.size for r in refs))
     return traces, refs

@@ -236,7 +236,38 @@ class TestCrashCleanup:
             assert purge_stale() >= 1
             assert not _segment_exists(name)
         finally:
-            shm_mod._raw_unlink(name)  # in case the purge skipped it
+            if _segment_exists(name):  # in case the purge skipped it
+                shm_mod._raw_unlink(name)
+
+    def test_raw_unlink_is_idempotent(self, monkeypatch):
+        # the already-released fast path: a second unlink of the same
+        # name must be a quiet no-op, not an OS round trip or an error.
+        # The deliberate duplicate would (rightly) be an R103 to an
+        # installed sanitizer, so mask the hook for the exercise.
+        from multiprocessing import shared_memory
+
+        monkeypatch.setattr(shm_mod, "_sanitizer", None)
+        name = f"{_PREFIX}idem0000"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+        shm_mod._untrack(seg)
+        seg.close()
+        shm_mod._raw_unlink(name)
+        assert not _segment_exists(name)
+        assert name in shm_mod._UNLINKED
+        shm_mod._raw_unlink(name)  # absorbed by the fast path
+        assert not _segment_exists(name)
+
+    def test_release_then_unlink_all_unlinks_once(self):
+        plane = TracePlane()
+        ref = plane.publish_trace("idem-rel", _smoke_trace(),
+                                  prefix=_PREFIX)
+        assert ref is not None
+        before = plane.stats["unlinks"]
+        plane.release(ref)
+        plane.release(ref)      # idempotent: segment already gone
+        plane.unlink_all()      # must not re-unlink the released name
+        assert plane.stats["unlinks"] == before + 1
+        assert not _segment_exists(ref.name)
 
     def test_purge_stale_spares_live_pids(self):
         from multiprocessing import shared_memory

@@ -1,0 +1,155 @@
+"""Seeded lifecycle mutations: each one must be caught twice.
+
+The acceptance contract of the concurrency analysis: three seeded
+mutations of the real plane/scheduler source — a dropped detach, a
+skipped adopt, a duplicated unlink — are each flagged as ERROR by the
+*static* typestate pass on a mutated scratch copy, and the equivalent
+runtime behavior is flagged by the *sanitizer*; while the clean tree
+pins at zero P1xx findings and a full sharded sweep under
+``REPRO_SANITIZE=1`` pins at zero R1xx findings (and zero leaked
+``/dev/shm`` segments).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.core.shm as shm_mod
+from repro.core.shm import TracePlane, plane_prefix, shm_available
+from repro.lint.concurrency_rules import lint_concurrency
+from repro.lint.findings import Severity
+from repro.lint.sanitize import ShadowTracker, report_from_dir
+
+SRC = Path(shm_mod.__file__).resolve().parents[1]  # src/repro
+SWEEPS = SRC / "core" / "sweeps.py"
+SHM = SRC / "core" / "shm.py"
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no usable shared memory on this platform")
+
+
+def _mutate(tmp_path, source: Path, old: str, new: str) -> Path:
+    """Scratch copy of ``source`` with one textual mutation applied."""
+    text = source.read_text(encoding="utf-8")
+    assert old in text, f"mutation anchor drifted: {old!r}"
+    out = tmp_path / source.name
+    out.write_text(text.replace(old, new, 1), encoding="utf-8")
+    return out
+
+
+class TestStaticPassCatchesMutations:
+    def test_m1_dropped_detach_is_p101(self, tmp_path):
+        # _shard_task's finally no longer detaches the attached trace
+        mut = _mutate(tmp_path, SWEEPS,
+                      "        plane.detach(tref)", "        pass")
+        found = [f for f in lint_concurrency([mut]) if f.rule == "P101"]
+        assert found, "dropped detach not caught"
+        assert all(f.severity == Severity.ERROR for f in found)
+
+    def test_m2_skipped_adopt_is_p104(self, tmp_path):
+        # the sweep parent collects phase-A refs without adopting them
+        mut = _mutate(tmp_path, SWEEPS, "plane.adopt(ref) and ", "")
+        found = [f for f in lint_concurrency([mut]) if f.rule == "P104"]
+        assert found, "skipped adopt not caught"
+        assert all(f.severity == Severity.ERROR for f in found)
+
+    def test_m3_double_unlink_is_p103(self, tmp_path):
+        # release() unlinks the same name twice
+        mut = _mutate(tmp_path, SHM,
+                      "        _raw_unlink(ref.name)\n",
+                      "        _raw_unlink(ref.name)\n"
+                      "        _raw_unlink(ref.name)\n")
+        found = [f for f in lint_concurrency([mut]) if f.rule == "P103"]
+        assert found, "double unlink not caught"
+        assert all(f.severity == Severity.ERROR for f in found)
+
+    def test_clean_copies_stay_clean(self, tmp_path):
+        # the anchors above flag the mutation, not the original code
+        for src in (SWEEPS, SHM):
+            copy = tmp_path / src.name
+            shutil.copyfile(src, copy)
+            assert lint_concurrency([copy]) == [], src.name
+
+
+@needs_shm
+class TestSanitizerCatchesMutations:
+    """The same three bugs, expressed as runtime behavior."""
+
+    @pytest.fixture
+    def tracker(self, monkeypatch):
+        trk = ShadowTracker()
+        monkeypatch.setattr(shm_mod, "_sanitizer", trk)
+        return trk
+
+    def test_m1_dropped_detach_is_r102(self, tracker):
+        plane = TracePlane()
+        ref = plane.publish_bytes("m1", b"m" * 32, prefix=plane_prefix())
+        plane.attach_bytes(ref)  # the shard task that never detaches
+        tracker.begin_exit()
+        assert any(f.rule == "R102" for f in tracker.findings())
+        plane.release(ref)
+
+    def test_m2_skipped_adopt_is_r101(self, tracker):
+        # a transfer-published segment nobody adopts survives until the
+        # exit purge reclaims it under our own prefix — an R101
+        plane = TracePlane()
+        ref = plane.publish_bytes("m2", b"m" * 32, prefix=plane_prefix(),
+                                  transfer=True)
+        assert ref is not None
+        tracker.begin_exit()
+        assert shm_mod.purge_prefix(plane_prefix()) >= 1
+        assert any(f.rule == "R101" for f in tracker.findings())
+
+    def test_m3_double_unlink_is_r103(self, tracker):
+        plane = TracePlane()
+        ref = plane.publish_bytes("m3", b"m" * 32, prefix=plane_prefix())
+        plane.release(ref)
+        shm_mod._raw_unlink(ref.name)
+        assert any(f.rule == "R103" for f in tracker.violations)
+
+
+class TestCleanTreePins:
+    def test_static_pass_pins_at_zero(self):
+        report = lint_concurrency()
+        assert report == [], "\n".join(f.render() for f in report)
+
+
+_E2E = """
+import repro.core.shm as shm
+from repro.core.sweeps import latency_sweep
+from repro.kernels import KERNELS
+from repro.workloads import get_scale
+
+spec = KERNELS["spmv"]
+workload = spec.prepare(get_scale("smoke"), 7)
+res = latency_sweep(spec, workload, latencies=(0, 128, 512), vls=(8, 32),
+                    verify=False, engine="fast", jobs=2)
+assert len(res.measurements) == 9
+"""
+
+
+@needs_shm
+class TestSanitizedSweepEndToEnd:
+    def test_sharded_sweep_pins_at_zero_findings(self, tmp_path):
+        env = dict(os.environ,
+                   REPRO_SANITIZE="1", REPRO_SANITIZE_DIR=str(tmp_path),
+                   PYTHONPATH=str(SRC.parent))
+        proc = subprocess.run([sys.executable, "-c", _E2E], env=env,
+                              capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        dumps = sorted(tmp_path.glob("sanitize-*.json"))
+        # parent + at least one pool worker dumped shadow state
+        assert len(dumps) >= 2, [p.name for p in dumps]
+        found = report_from_dir(str(tmp_path))
+        assert found == [], "\n".join(f.render() for f in found)
+        pids = {json.loads(p.read_text())["pid"] for p in dumps}
+        assert len(pids) == len(dumps)  # one dump per process
+        # and nothing was left behind in /dev/shm
+        leftovers = [n for n in os.listdir("/dev/shm")
+                     if n.startswith("repro-plane-")]
+        assert leftovers == []

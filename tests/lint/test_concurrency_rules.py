@@ -1,0 +1,306 @@
+"""The concurrency typestate pass (P1xx) and the suppression audit.
+
+Each rule gets a minimal positive and negative source fragment; the
+clean-tree pin (zero P findings over the real ``src/repro``) lives in
+``test_concurrency_mutations.py`` next to the seeded-mutation checks.
+"""
+
+import textwrap
+
+from repro.lint.concurrency_rules import (
+    default_concurrency_paths,
+    lint_concurrency,
+)
+
+
+def _lint(tmp_path, src, name="mod.py"):
+    p = tmp_path / name
+    p.write_text(textwrap.dedent(src))
+    return lint_concurrency([p])
+
+
+def _rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestP101AttachWithoutDetach:
+    def test_bare_attach_flagged(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(plane, ref):
+                trace = plane.attach_trace(ref)
+                return trace.cycles
+        """)
+        assert _rules(fs) == ["P101"]
+        assert "attach_trace" in fs[0].message
+
+    def test_try_finally_pairing_accepted(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(plane, ref):
+                trace = plane.attach_trace(ref)
+                try:
+                    return trace.cycles
+                finally:
+                    plane.detach(ref)
+        """)
+        assert fs == []
+
+    def test_attach_inside_protected_try_accepted(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(plane, ref):
+                try:
+                    data = plane.attach_bytes(ref)
+                    return len(data)
+                finally:
+                    plane.detach(ref)
+        """)
+        assert fs == []
+
+    def test_context_manager_form_accepted(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(plane, ref):
+                with plane.attached_trace(ref) as trace:
+                    return trace.cycles
+        """)
+        assert fs == []
+
+    def test_self_receiver_exempt(self, tmp_path):
+        # the plane's own internals compose attach primitives freely
+        fs = _lint(tmp_path, """
+            class Plane:
+                def helper(self, ref):
+                    return self.attach_trace(ref)
+        """)
+        assert fs == []
+
+    def test_finally_detaching_other_ref_still_flagged(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(plane, ref, other):
+                trace = plane.attach_trace(ref)
+                try:
+                    return trace.cycles
+                finally:
+                    plane.detach(other)
+        """)
+        assert _rules(fs) == ["P101"]
+
+
+class TestP102UseAfterRelease:
+    def test_use_after_release_flagged(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(plane, ref):
+                trace = plane.attach_trace(ref)
+                try:
+                    total = trace.cycles
+                finally:
+                    plane.detach(ref)
+                plane.release(ref)
+                return trace.cycles
+        """)
+        assert "P102" in _rules(fs)
+
+    def test_use_before_release_clean(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(plane, ref):
+                trace = plane.attach_trace(ref)
+                try:
+                    total = trace.cycles
+                finally:
+                    plane.detach(ref)
+                plane.release(ref)
+                return total
+        """)
+        assert fs == []
+
+
+class TestP103DoubleUnlink:
+    def test_literal_duplicate_flagged(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(name):
+                _raw_unlink(name)
+                _raw_unlink(name)
+        """)
+        assert _rules(fs) == ["P103"]
+
+    def test_different_args_clean(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(a, b):
+                _raw_unlink(a)
+                _raw_unlink(b)
+        """)
+        assert fs == []
+
+    def test_separate_branches_clean(self, tmp_path):
+        # one unlink per execution path is fine
+        fs = _lint(tmp_path, """
+            def f(name, fast):
+                if fast:
+                    _raw_unlink(name)
+                else:
+                    _raw_unlink(name)
+        """)
+        assert fs == []
+
+
+_TRANSFER_WORKER = textwrap.dedent("""
+    def _work(task):
+        return plane.publish_trace("k", task, prefix=pfx,
+                                   transfer=True)
+""")
+
+
+class TestP104HandoffWithoutAdopt:
+    def test_missing_adopt_flagged(self, tmp_path):
+        fs = _lint(tmp_path, _TRANSFER_WORKER + textwrap.dedent("""
+            def sweep(tasks):
+                return run_tasks(_work, tasks, jobs=2)
+        """))
+        assert _rules(fs) == ["P104"]
+
+    def test_adopt_in_enclosing_function_accepted(self, tmp_path):
+        fs = _lint(tmp_path, _TRANSFER_WORKER + textwrap.dedent("""
+            def sweep(plane, tasks):
+                outs = run_tasks(_work, tasks, jobs=2)
+                for ref in outs:
+                    plane.adopt(ref)
+                return outs
+        """))
+        assert fs == []
+
+    def test_tracer_adopt_does_not_count(self, tmp_path):
+        # span adoption shares the method name but moves no segment
+        fs = _lint(tmp_path, _TRANSFER_WORKER + textwrap.dedent("""
+            def sweep(tracer, tasks):
+                outs = run_tasks(_work, tasks, jobs=2)
+                for out in outs:
+                    tracer.adopt(out.spans)
+                return outs
+        """))
+        assert _rules(fs) == ["P104"]
+
+    def test_non_transfer_publish_clean(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def _work(task):
+                return plane.publish_trace("k", task, prefix=pfx)
+
+            def sweep(tasks):
+                return run_tasks(_work, tasks, jobs=2)
+        """)
+        assert fs == []
+
+
+class TestP105NestedFanout:
+    def test_worker_calling_run_tasks_flagged(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def _leaf(t):
+                return t
+
+            def _nested(t):
+                return run_tasks(_leaf, [t])
+
+            def main(tasks):
+                return run_tasks(_nested, tasks, jobs=2)
+        """)
+        assert _rules(fs) == ["P105"]
+
+    def test_transitive_helper_flagged(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def _leaf(t):
+                return t
+
+            def _helper(t):
+                return run_tasks(_leaf, [t])
+
+            def _worker(t):
+                return _helper(t)
+
+            def main(tasks):
+                return run_tasks(_worker, tasks, jobs=2)
+        """)
+        assert _rules(fs) == ["P105"]
+
+    def test_raw_submit_outside_parallel_flagged(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(pool, fn):
+                return pool.submit(fn, 1)
+        """)
+        assert _rules(fs) == ["P105"]
+        assert "core/parallel.py" in fs[0].message
+
+
+class TestP106UnscopedSpans:
+    def test_bare_span_flagged(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(tracer):
+                tracer.span("phase")
+        """)
+        assert _rules(fs) == ["P106"]
+
+    def test_with_span_clean(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(tracer, runlog):
+                with tracer.span("phase"):
+                    with runlog.context("phase"):
+                        pass
+        """)
+        assert fs == []
+
+    def test_bare_runlog_context_flagged(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(runlog):
+                runlog.context("phase")
+        """)
+        assert _rules(fs) == ["P106"]
+
+
+class TestSuppressionAudit:
+    def test_used_suppression_silences_and_stays_quiet(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(plane, ref):
+                trace = plane.attach_trace(ref)  # repro-lint: disable=P101
+                return trace.cycles
+        """)
+        assert fs == []
+
+    def test_unknown_rule_is_w001(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(name):
+                _raw_unlink(name)
+                _raw_unlink(name)  # repro-lint: disable=P999,P103
+        """)
+        assert _rules(fs) == ["W001"]
+
+    def test_stale_suppression_is_w002(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(name):
+                _raw_unlink(name)  # repro-lint: disable=P103
+        """)
+        assert _rules(fs) == ["W002"]
+
+    def test_disable_all(self, tmp_path):
+        fs = _lint(tmp_path, """
+            def f(plane, ref):
+                trace = plane.attach_trace(ref)  # repro-lint: disable=all
+                return trace.cycles
+        """)
+        assert fs == []
+
+
+class TestDefaultPaths:
+    def test_core_modules_always_covered(self):
+        paths = [p.as_posix() for p in default_concurrency_paths()]
+        assert any(p.endswith("core/shm.py") for p in paths)
+        assert any(p.endswith("core/parallel.py") for p in paths)
+        assert any(p.endswith("core/sweeps.py") for p in paths)
+
+    def test_consumers_found_by_token_scan(self):
+        paths = [p.as_posix() for p in default_concurrency_paths()]
+        assert any(p.endswith("obs/profile.py") for p in paths)
+
+    def test_lint_package_excluded(self):
+        # the rule tables quote the very tokens the scan looks for
+        assert not any("/lint/" in p.as_posix()
+                       for p in default_concurrency_paths())
+
+    def test_unparseable_source_is_p100(self, tmp_path):
+        fs = _lint(tmp_path, "def broken(:\n")
+        assert _rules(fs) == ["P100"]

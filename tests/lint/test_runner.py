@@ -61,8 +61,17 @@ class TestCli:
         rc = lint_main(["--family", "config", "--json"])
         assert rc == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro.lint/1"
+        assert doc["schema"] == "repro.lint/2"
         assert doc["exit_code"] == 0
+        assert doc["meta"]["families"] == ["config"]
+
+    def test_json_v1_compat_format(self, capsys):
+        rc = lint_main(["--family", "config", "--format", "json-v1"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.lint/1"
+        assert "meta" not in doc
+        assert all("category" not in f for f in doc["findings"])
 
     def test_text_output_and_summary(self, capsys):
         rc = lint_main(["--family", "template", "--kernel", "spmv",
@@ -77,6 +86,9 @@ class TestCli:
         via_cli = json.loads(capsys.readouterr().out)
         assert lint_main(["--family", "config", "--json"]) == 0
         via_module = json.loads(capsys.readouterr().out)
+        # wall-clock meta necessarily differs between the two runs
+        via_cli["meta"].pop("elapsed_s")
+        via_module["meta"].pop("elapsed_s")
         assert via_cli == via_module
 
     def test_cache_family_needs_directory_flag(self, tmp_path):

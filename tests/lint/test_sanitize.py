@@ -1,0 +1,237 @@
+"""The runtime sanitizer: shadow tracking, R-rule semantics, dumps.
+
+Every test installs a *test-local* :class:`ShadowTracker` by
+monkeypatching the module hooks, so the scenarios stay invisible to an
+environment-installed tracker (the CI ``sanitize`` job runs this very
+suite under ``REPRO_SANITIZE=1``). All real segments are cleaned up
+inside the monkeypatch window for the same reason.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.core.parallel as parallel_mod
+import repro.core.shm as shm_mod
+from repro.core.shm import PlaneRef, TracePlane, plane_prefix, shm_available
+from repro.lint.findings import Severity
+from repro.lint.sanitize import (
+    SANITIZE_SCHEMA,
+    ShadowTracker,
+    report_from_dir,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no usable shared memory on this platform")
+
+
+@pytest.fixture
+def tracker(monkeypatch):
+    trk = ShadowTracker()
+    monkeypatch.setattr(shm_mod, "_sanitizer", trk)
+    monkeypatch.setattr(parallel_mod, "_sanitizer", trk)
+    return trk
+
+
+def _rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+@needs_shm
+class TestShadowLifecycle:
+    def test_clean_round_trip_has_no_findings(self, tracker):
+        plane = TracePlane()
+        ref = plane.publish_bytes("k", b"payload", prefix=plane_prefix())
+        assert ref is not None
+        assert plane.attach_bytes(ref) == b"payload"
+        plane.detach(ref)
+        plane.release(ref)
+        assert tracker.findings() == []
+        tracker.begin_exit()
+        assert tracker.findings() == []
+        assert tracker.counters["publishes"] == 1
+        assert tracker.counters["unlinks"] == 1
+
+    def test_r101_owned_segment_leaked(self, tracker):
+        plane = TracePlane()
+        ref = plane.publish_bytes("leak", b"x" * 32, prefix=plane_prefix())
+        tracker.begin_exit()
+        found = tracker.findings()
+        assert "R101" in _rules(found)
+        assert all(f.severity == Severity.ERROR for f in found
+                   if f.rule == "R101")
+        plane.release(ref)
+
+    def test_r101_snapshot_survives_exit_cleanup(self, tracker):
+        # the leak snapshot is taken *before* cleanup runs, so atexit's
+        # own unlink_all cannot retroactively hide the leak
+        plane = TracePlane()
+        ref = plane.publish_bytes("leak2", b"y" * 32, prefix=plane_prefix())
+        tracker.begin_exit()
+        plane.unlink_all()
+        assert "R101" in _rules(tracker.findings())
+
+    def test_r101_exit_purge_reclaims_own_prefix(self, tracker):
+        # worker-style transfer publish that nobody ever adopted: only
+        # the exit purge sweeps it, which is itself the finding
+        plane = TracePlane()
+        ref = plane.publish_bytes("handoff", b"z" * 32,
+                                  prefix=plane_prefix(), transfer=True)
+        assert ref is not None
+        tracker.begin_exit()
+        assert tracker.findings() == []  # not owned: no direct leak
+        assert shm_mod.purge_prefix(plane_prefix()) >= 1
+        assert "R101" in _rules(tracker.findings())
+        assert ref.name in tracker.exit_reclaimed
+
+    def test_r102_pinned_mapping(self, tracker):
+        plane = TracePlane()
+        ref = plane.publish_bytes("pin", b"p" * 32, prefix=plane_prefix())
+        plane.attach_bytes(ref)  # never detached
+        tracker.begin_exit()
+        rules = _rules(tracker.findings())
+        assert "R102" in rules
+        plane.release(ref)
+
+    def test_r102_settled_by_local_unlink(self, tracker):
+        # owner unlinking the name settles the balance process-wide,
+        # even when a *different* plane object held the attachment
+        owner = TracePlane()
+        ref = owner.publish_bytes("settle", b"s" * 32,
+                                  prefix=plane_prefix())
+        other = TracePlane()
+        assert other.attach_bytes(ref) == b"s" * 32
+        owner.release(ref)  # unlink settles; `other` never detached
+        tracker.begin_exit()
+        assert "R102" not in _rules(tracker.findings())
+
+    def test_r103_double_unlink(self, tracker):
+        plane = TracePlane()
+        ref = plane.publish_bytes("dbl", b"d" * 32, prefix=plane_prefix())
+        plane.release(ref)
+        shm_mod._raw_unlink(ref.name)  # the seeded-mutation shape
+        assert _rules(tracker.violations) == ["R103"]
+
+    def test_r104_release_from_stranger(self, tracker):
+        plane = TracePlane()
+        ghost = PlaneRef(name="repro-plane-0-ghost00", key="g",
+                         kind="bytes", size=8)
+        plane.release(ghost)
+        assert _rules(tracker.violations) == ["R104"]
+
+    def test_failed_attach_then_detach_is_quiet(self, tracker):
+        # the attached_* context managers detach unconditionally; a
+        # failed attach must not count as anything
+        plane = TracePlane()
+        ghost = PlaneRef(name="repro-plane-0-gone000", key="g",
+                         kind="bytes", size=8)
+        with plane.attached_bytes(ghost) as data:
+            assert data is None
+        assert tracker.findings() == []
+        assert tracker.counters["attaches"] == 0
+
+
+class TestPoolShadow:
+    def test_r105_short_drain(self, tracker):
+        bid = tracker.note_batch_begin(jobs=2, tasks=5)
+        tracker.note_batch_end(bid, "ok", completed=3, submitted=5)
+        assert _rules(tracker.violations) == ["R105"]
+
+    def test_broken_pool_drain_is_not_r105(self, tracker):
+        bid = tracker.note_batch_begin(jobs=2, tasks=5)
+        tracker.note_batch_end(bid, "broken", completed=3, submitted=5)
+        assert tracker.violations == []
+
+    def test_r105_batch_open_at_exit(self, tracker):
+        tracker.note_batch_begin(jobs=2, tasks=4)
+        tracker.begin_exit()
+        assert "R105" in _rules(tracker.findings())
+
+    def test_r106_foreign_pool_abandoned(self, tracker, monkeypatch):
+        class _Dead:
+            def shutdown(self, *a, **k):
+                raise AssertionError("foreign pool must not be shut down")
+
+        monkeypatch.setattr(parallel_mod, "_pool",
+                            ((1, None, ()), _Dead()))
+        monkeypatch.setattr(parallel_mod, "_pool_pid", os.getpid() + 1)
+        pool = parallel_mod._get_pool(1, None, ())
+        try:
+            assert _rules(tracker.violations) == ["R106"]
+        finally:
+            parallel_mod.shutdown_pool()
+
+    def test_run_tasks_batches_accounted(self, tracker, monkeypatch):
+        class _Fake:
+            def submit(self, fn, t):
+                from concurrent.futures import Future
+
+                f = Future()
+                f.set_result(fn(t))
+                return f
+
+        monkeypatch.setattr(parallel_mod, "_get_pool",
+                            lambda *a: _Fake())
+        out = parallel_mod.run_tasks(_double, [1, 2, 3], jobs=2)
+        assert out == [2, 4, 6]
+        assert tracker.counters["pool_batches"] == 1
+        assert tracker.counters["pool_batch_ok"] == 1
+        assert tracker.open_batches == {}
+        assert tracker.violations == []
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestForkSafety:
+    def test_hooks_reset_inherited_state(self, tracker):
+        tracker.note_publish("seg-a", "k", 16, False)
+        assert tracker.segments
+        # simulate "this object crossed a fork": pid no longer matches
+        tracker.pid -= 1
+        tracker.note_attach("seg-b", 8)
+        assert "seg-a" not in tracker.segments  # parent state dropped
+        assert tracker.pid == os.getpid()
+        assert tracker.counters["attaches"] == 1
+
+
+class TestDumpsAndAggregation:
+    def test_dump_round_trip(self, tmp_path, tracker):
+        tracker.note_release("never-seen", owned=False)  # R104
+        path = tracker.dump(str(tmp_path))
+        assert path is not None
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SANITIZE_SCHEMA
+        assert doc["pid"] == os.getpid()
+        found = report_from_dir(str(tmp_path))
+        assert _rules(found) == ["R104"]
+        assert found[0].pid == os.getpid()
+        assert found[0].severity == Severity.ERROR
+
+    def test_empty_dir_is_w003(self, tmp_path):
+        assert _rules(report_from_dir(str(tmp_path))) == ["W003"]
+
+    def test_missing_dir_is_w003(self, tmp_path):
+        assert _rules(report_from_dir(str(tmp_path / "nope"))) == ["W003"]
+
+    def test_bad_schema_is_w003(self, tmp_path):
+        (tmp_path / "sanitize-1-bad.json").write_text(
+            json.dumps({"schema": "repro.sanitize/99", "findings": []}))
+        assert _rules(report_from_dir(str(tmp_path))) == ["W003"]
+
+    def test_unreadable_dump_is_w003(self, tmp_path):
+        (tmp_path / "sanitize-1-junk.json").write_text("{not json")
+        assert _rules(report_from_dir(str(tmp_path))) == ["W003"]
+
+    def test_clean_dump_aggregates_to_nothing(self, tmp_path, tracker):
+        tracker.begin_exit()
+        tracker.dump(str(tmp_path))
+        assert report_from_dir(str(tmp_path)) == []
+
+    def test_report_carries_counters(self, tracker):
+        tracker.note_publish("seg", "k", 16, False)
+        rep = tracker.report()
+        assert rep.meta["sanitize"]["publishes"] == 1
+        assert rep.meta["pid"] == os.getpid()
