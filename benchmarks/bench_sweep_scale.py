@@ -28,6 +28,12 @@ from conftest import LATENCIES, VLS, record_ledger, write_result
 from repro.core.shm import plane_prefix, shm_available
 from repro.core.sweeps import latency_sweep
 from repro.kernels import KERNELS
+from repro.obs.spans import set_tracing
+
+#: phase-A stage spans (trace generation + classification) — the work the
+#: classified shm plane exists to amortize; summed across workers, so this
+#: is total work, not wall time
+_PHASE_A = ("trace-gen:", "classify:")
 
 #: the acceptance configuration: fig3, event engine, four workers
 JOBS = 4
@@ -51,16 +57,27 @@ def test_bench_sharded_fig3_event_e2e(workloads):
     effective = min(JOBS, cpus)
     plane_up = shm_available()
 
-    t0 = time.perf_counter()
-    baseline = latency_sweep(spec, workload, latencies=LATENCIES, vls=VLS,
-                             verify=False, engine="event", jobs=JOBS,
-                             shm=False)
-    baseline_s = time.perf_counter() - t0
+    # both runs traced (symmetric span overhead, a few percent); the
+    # tracer is cleared between them so the phase-A sum below is the
+    # sharded run's alone
+    tracer = set_tracing(True)
+    try:
+        t0 = time.perf_counter()
+        baseline = latency_sweep(spec, workload, latencies=LATENCIES,
+                                 vls=VLS, verify=False, engine="event",
+                                 jobs=JOBS, shm=False)
+        baseline_s = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    sharded = latency_sweep(spec, workload, latencies=LATENCIES, vls=VLS,
-                            verify=False, engine="event", jobs=JOBS)
-    sharded_s = time.perf_counter() - t0
+        tracer.clear()
+        t0 = time.perf_counter()
+        sharded = latency_sweep(spec, workload, latencies=LATENCIES,
+                                vls=VLS, verify=False, engine="event",
+                                jobs=JOBS)
+        sharded_s = time.perf_counter() - t0
+        phase_a_s = sum(s.wall_s for s in tracer.spans
+                        if s.name.startswith(_PHASE_A))
+    finally:
+        set_tracing(False)
 
     # the contract that makes the comparison meaningful at all
     assert _rows(baseline) == _rows(sharded)
@@ -82,8 +99,24 @@ def test_bench_sharded_fig3_event_e2e(workloads):
         f"  whole-impl fan-out : {baseline_s:7.2f} s",
         f"  sharded + shm plane: {sharded_s:7.2f} s",
         f"  speedup            : {speedup:.2f}x",
+        f"  phase-A work       : {phase_a_s:7.2f} s "
+        f"(trace-gen + classify, summed across workers)",
     ]
     write_result("sweep_e2e_fig3_event", "\n".join(lines))
+
+    v_phase = record_ledger("bench_sweep_scale", "sweep_phaseA", phase_a_s,
+                            unit="s",
+                            attrs={"direction": "lower", "jobs": JOBS,
+                                   "engine": "event", "kernel": KERNEL,
+                                   "shm": plane_up})
+    if v_phase.status == "insufficient":
+        # fresh clone: sanity only — phase A happened, and costs less
+        # than an entire untraced baseline sweep
+        assert 0.0 < phase_a_s < baseline_s
+    else:
+        assert not v_phase.is_regression, (
+            f"phase-A (trace-gen + classify) work regressed: "
+            f"{v_phase.reason}")
 
     verdict = record_ledger("bench_sweep_scale", "sweep_e2e_fig3_event",
                             speedup,

@@ -91,6 +91,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--shard-points", type=int, default=None, metavar="N",
                    help="points per shard for parallel serial-engine "
                         "sweeps (default: records x points cost model)")
+    p.add_argument("--classify", default=None, choices=("stack", "walk"),
+                   help="memory classification engine: 'stack' (vectorized "
+                        "stack-distance kernel, default) or 'walk' (the "
+                        "sequential reference walker); bit-identical output")
 
 
 def _add_emit(p: argparse.ArgumentParser) -> None:
@@ -221,6 +225,12 @@ def main(argv: list[str] | None = None) -> int:
     add_lint_arguments(pl)
 
     args = parser.parse_args(argv)
+
+    if getattr(args, "classify", None):
+        # module-level default: every FpgaSdv built by this command (and,
+        # via the task-tuple plumbing, by its worker processes) uses it
+        from repro.memory.classify_fast import set_default_classifier
+        set_default_classifier(args.classify)
 
     if args.command == "lint":
         from repro.lint.runner import run_lint_cli

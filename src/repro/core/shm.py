@@ -74,6 +74,7 @@ from repro.errors import TraceError
 from repro.trace.events import TraceBuffer, TraceColumns
 
 _MAGIC = b"RPLN1"
+_CMAGIC = b"RPCL1"
 _ALIGN = 64
 
 #: every fixed-width TraceColumns array, in segment order; ``strings``
@@ -85,9 +86,11 @@ _TRACE_ARRAYS = (
 )
 
 #: bound on cached attachments per process — must exceed one sweep's
-#: implementation count (scalar + six VLs) or mid-sweep eviction thrashes
-#: the per-trace plan caches; evicted mappings are closed, not unlinked
-ATTACH_CAP = 16
+#: implementation count (scalar + six VLs) *times two* now that every
+#: trace segment travels with a classified sibling, or mid-sweep
+#: eviction thrashes the per-trace plan caches; evicted mappings are
+#: closed, not unlinked
+ATTACH_CAP = 32
 
 #: runtime-sanitizer hook: a ``repro.lint.sanitize.ShadowTracker`` when
 #: ``REPRO_SANITIZE=1`` (installed at the bottom of this module), else
@@ -124,7 +127,7 @@ class PlaneRef:
 
     name: str       # shared-memory segment name
     key: str        # content key it was published under
-    kind: str       # "trace" | "bytes"
+    kind: str       # "trace" | "classified" | "bytes"
     size: int       # payload bytes (segment may be page-rounded larger)
     records: int = 0  # trace records (cost-model input; 0 for blobs)
 
@@ -350,6 +353,80 @@ class TracePlane:
         self._register_published(ref, shm, trace, transfer)
         return ref
 
+    def publish_classified(self, key: str, ct: Any, *, prefix: str,
+                           transfer: bool = False) -> PlaneRef | None:
+        """Publish a knob-independent classification so phase-B shards
+        attach it zero-copy instead of reclassifying per shard.
+
+        Segment layout (version 1)::
+
+            magic "RPCL1" | uint64 meta_len | meta JSON | aligned arrays
+
+        ``ct`` is a :class:`repro.memory.classify.ClassifiedTrace`: its
+        columnar ``rows`` travel with their structured dtype descr in
+        the meta (the attach side rebuilds the dtype from the segment,
+        not from import-time agreement), and the ragged per-record
+        ``levels`` list is flattened into one uint8 stream plus a
+        per-record length vector where ``-1`` marks records that carry
+        no level data (barriers, vector arithmetic).
+        """
+        if not self.enabled:
+            return None
+        hit = self._by_key.get(key)
+        if hit is not None:
+            return hit
+        from repro.memory.classify_fast import pack_levels
+
+        rows = np.ascontiguousarray(ct.rows)
+        n = int(rows.shape[0])
+        lens, flat = pack_levels(ct.levels)
+        arrays = [("rows", rows), ("lens", lens), ("flat", flat)]
+        meta_arrays = []
+        for aname, a in arrays:
+            if a.dtype.names:
+                dt: Any = [list(f) for f in a.dtype.descr]
+            else:
+                dt = a.dtype.str
+            meta_arrays.append({"name": aname, "dtype": dt,
+                                "shape": list(a.shape), "offset": 0})
+        meta = {"version": 1, "records": n, "arrays": meta_arrays}
+        blob = json.dumps(meta).encode()
+        off = _pad(len(_CMAGIC) + 8 + len(blob))
+        # absolute offsets can grow the JSON; pad the header generously
+        header_guess = _pad(off + 128 * len(arrays))
+        off = header_guess
+        for m, (aname, a) in zip(meta_arrays, arrays):
+            m["offset"] = off
+            off += _pad(a.nbytes)
+        total = off + _ALIGN
+        blob = json.dumps(meta).encode()
+        if len(_CMAGIC) + 8 + len(blob) > header_guess:
+            raise TraceError(
+                "classified-plane header overflow")  # unreachable
+        try:
+            shm = self._new_segment(prefix, total)
+        except (OSError, PermissionError, ValueError) as exc:
+            self._disable(exc)
+            return None
+        buf = shm.buf
+        p = 0
+        buf[p:p + len(_CMAGIC)] = _CMAGIC
+        p += len(_CMAGIC)
+        buf[p:p + 8] = len(blob).to_bytes(8, "little")
+        p += 8
+        buf[p:p + len(blob)] = blob
+        for m, (aname, a) in zip(meta_arrays, arrays):
+            if a.nbytes:
+                dst = np.ndarray(a.shape, dtype=a.dtype, buffer=buf,
+                                 offset=m["offset"])
+                dst[...] = a
+        ref = PlaneRef(name=shm.name, key=key, kind="classified",
+                       size=total, records=n)
+        # memoize the original object so the publisher's own attach
+        # requests cost nothing
+        self._register_published(ref, shm, ct, transfer)
+        return ref
+
     def publish_bytes(self, key: str, payload: bytes, *,
                       prefix: str, transfer: bool = False) -> PlaneRef | None:
         """Publish one opaque blob (e.g. a pickled workload), once."""
@@ -424,13 +501,63 @@ class TracePlane:
             att.obj = self._build_trace(att.shm)
         return att.obj
 
+    def attach_classified(self, ref: PlaneRef, trace: TraceBuffer,
+                          config: Any) -> Any | None:
+        """Map a published classification and rebuild a
+        :class:`~repro.memory.classify.ClassifiedTrace` whose ``rows``
+        and ``levels`` arrays are zero-copy views into the segment
+        (process-cached, like :meth:`attach_trace`). ``trace`` and
+        ``config`` rebind the non-array fields; callers that sweep
+        knobs re-bind ``config`` again via ``dataclasses.replace``
+        exactly like :meth:`repro.soc.sdv.FpgaSdv.classify` does.
+        Returns ``None`` when the segment is unattachable."""
+        from repro.memory.classify import ClassifiedTrace
+
+        att = self._attach(ref)
+        if att is None:
+            return None
+        if not isinstance(att.obj, ClassifiedTrace):
+            att.obj = self._build_classified(att.shm, trace, config)
+        return att.obj
+
+    def _build_classified(self, shm: Any, trace: TraceBuffer,
+                          config: Any) -> Any:
+        from repro.memory.classify import ClassifiedTrace
+
+        buf = shm.buf
+        if bytes(buf[:len(_CMAGIC)]) != _CMAGIC:
+            raise TraceError(f"segment {shm.name} is not a classified-"
+                             "plane segment (bad magic)")
+        p = len(_CMAGIC)
+        meta_len = int.from_bytes(buf[p:p + 8], "little")
+        p += 8
+        meta = json.loads(bytes(buf[p:p + meta_len]))
+        arrs: dict[str, np.ndarray] = {}
+        for m in meta["arrays"]:
+            d = m["dtype"]
+            if isinstance(d, list):  # structured dtype descr
+                dt = np.dtype([(str(f[0]), str(f[1])) if len(f) == 2
+                               else (str(f[0]), str(f[1]), tuple(f[2]))
+                               for f in d])
+            else:
+                dt = np.dtype(d)
+            arrs[m["name"]] = np.ndarray(
+                tuple(m["shape"]), dtype=dt, buffer=buf,
+                offset=m["offset"])
+        from repro.memory.classify_fast import unpack_levels
+
+        levels = unpack_levels(arrs["lens"], arrs["flat"])
+        return ClassifiedTrace(rows=arrs["rows"], levels=levels,
+                               trace=trace, config=config)
+
     def attach_bytes(self, ref: PlaneRef) -> bytes | None:
         """Read a published blob (one copy out of the segment)."""
         att = self._attach(ref)
         if att is None:
             return None
-        if isinstance(att.obj, TraceBuffer):
-            raise TraceError(f"segment {ref.name} holds a trace, not bytes")
+        if att.obj is not None and not isinstance(att.obj, bytes):
+            raise TraceError(f"segment {ref.name} holds a "
+                             f"{type(att.obj).__name__}, not bytes")
         if att.obj is None:
             att.obj = bytes(att.shm.buf[:ref.size])
         return att.obj

@@ -42,14 +42,24 @@ from repro.core.measurements import Measurement, SweepResult
 from repro.core.parallel import resolve_jobs, run_tasks
 from repro.errors import ConfigError, KernelError, TraceError
 from repro.kernels.base import KernelSpec
+from repro.memory.classify_fast import (
+    default_classifier,
+    set_default_classifier,
+)
 from repro.obs import engine_stats as engine_stats_mod
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.runlog import RunLog, get_runlog
 from repro.obs.spans import SpanTracer, get_tracer
 from repro.soc.sdv import FpgaSdv
 from repro.trace.events import TraceBuffer
+from repro.trace.serialize import CLASSIFIED_FORMAT_VERSION
 from repro.trace.serialize import FORMAT_VERSION as TRACE_FORMAT_VERSION
-from repro.trace.serialize import load_trace, save_trace
+from repro.trace.serialize import (
+    load_classified,
+    load_trace,
+    save_classified,
+    save_trace,
+)
 
 #: Figure 3/4 x-axis: extra latency cycles added by the Latency Controller.
 DEFAULT_LATENCIES: tuple[int, ...] = (0, 32, 64, 128, 256, 512, 1024)
@@ -172,6 +182,42 @@ def trace_cache_path(cache_dir: str | os.PathLike, spec_name: str,
     return Path(cache_dir) / name
 
 
+def classified_sidecar_path(cache_path: Path, sdv: FpgaSdv) -> Path:
+    """The classified sidecar of one cached trace file.
+
+    The name carries the sidecar schema version and the cache-geometry
+    fingerprint (l1d/l2 size/ways/banks, prefetch depth, gather
+    coalescing), so a geometry change simply misses instead of serving a
+    stale classification; the fingerprint is re-checked against the
+    file's embedded copy at load time.
+    """
+    return cache_path.with_name(
+        f"{cache_path.name[:-4]}.cls{CLASSIFIED_FORMAT_VERSION}-"
+        f"{sdv.geometry_fingerprint()}.npz")
+
+
+def _seed_from_sidecar(sdv: FpgaSdv, trace: TraceBuffer,
+                       cache_path: Path) -> None:
+    """Cache-hit path: pre-load the trace's classification from its
+    sidecar so the reload skips reclassification entirely."""
+    if sdv.has_classification(trace):
+        return  # the memoized trace object already carries it
+    side = classified_sidecar_path(cache_path, sdv)
+    ct = None
+    if side.exists():
+        ct = load_classified(side, trace, sdv.config,
+                             geometry_fp=sdv.geometry_fingerprint())
+    stats_on = engine_stats_mod.introspection_enabled()
+    if ct is not None:
+        sdv.seed_classification(trace, ct)
+        if stats_on:
+            engine_stats_mod.get_engine_stats().count(
+                "classify.sidecar_hits")
+    elif stats_on:
+        engine_stats_mod.get_engine_stats().count(
+            "classify.sidecar_misses")
+
+
 #: per-process memo of loaded cached traces, keyed by cache-file path.
 #: The path is content-addressed (kernel + workload + VL + geometry +
 #: emitter fingerprint), so a hit is always the identical trace; serving
@@ -255,7 +301,9 @@ def run_implementation(
             if engine_stats_mod.introspection_enabled():
                 engine_stats_mod.get_engine_stats().count(
                     "trace_cache.hits")
-            return sdv, _load_trace_memoized(cache_path)
+            trace = _load_trace_memoized(cache_path)
+            _seed_from_sidecar(sdv, trace, cache_path)
+            return sdv, trace
         if engine_stats_mod.introspection_enabled():
             engine_stats_mod.get_engine_stats().count("trace_cache.misses")
 
@@ -272,6 +320,12 @@ def run_implementation(
     if cache_path is not None:
         cache_path.parent.mkdir(parents=True, exist_ok=True)
         save_trace(trace, cache_path)
+        # classification is knob-independent and every consumer needs it
+        # next, so computing it here is never wasted work — and the
+        # sidecar makes the *next* cache hit skip it outright
+        save_classified(sdv.classify(trace),
+                        classified_sidecar_path(cache_path, sdv),
+                        geometry_fp=sdv.geometry_fingerprint())
     return sdv, trace
 
 
@@ -469,7 +523,9 @@ def _impl_task(args) -> _ImplOutcome:
     """Module-level worker: one (kernel, implementation) per process task."""
     (spec_or_name, workload, vl, axis, points, config, verify, reference,
      keep_reports, engine, trace_cache, trace_spans, attributions,
-     runlog_on, trace_id, introspection, workload_fp) = args
+     runlog_on, trace_id, introspection, workload_fp,
+     classify_name) = args
+    set_default_classifier(classify_name)
     return _time_one_impl(_resolve_spec(spec_or_name),
                           _resolve_plane(workload), vl, axis, points,
                           config, verify, _resolve_plane(reference),
@@ -481,9 +537,11 @@ def _impl_task(args) -> _ImplOutcome:
 @dataclass
 class _GenOutcome:
     """Phase-A result: the published trace ref (``None`` when the plane
-    degraded mid-flight) plus the worker's observability payload."""
+    degraded mid-flight), its classified sibling, plus the worker's
+    observability payload."""
 
     ref: shm_mod.PlaneRef | None = None
+    cref: shm_mod.PlaneRef | None = None
     records: int = 0
     spans: list = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
@@ -498,7 +556,8 @@ def _gen_task(args) -> _GenOutcome:
     it to the trace plane under the sweep parent's segment prefix."""
     (spec_or_name, workload, vl, config, verify, reference, trace_cache,
      workload_fp, prefix, key, trace_spans, runlog_on, trace_id,
-     introspection) = args
+     introspection, classify_name) = args
+    set_default_classifier(classify_name)
     t_begin = time.perf_counter()
     spec = _resolve_spec(spec_or_name)
     workload = _resolve_plane(workload)
@@ -522,11 +581,27 @@ def _gen_task(args) -> _GenOutcome:
     if ref is not None:
         registry.counter("shm.traces_published").inc()
         registry.counter("shm.bytes_published").inc(ref.size)
+    # publish the knob-independent classification alongside the trace,
+    # so phase-B shards attach it instead of reclassifying per shard
+    # (classify() serves the sidecar-seeded result on cache hits)
+    cref = None
+    if ref is not None:
+        with tracer.span(f"classify:{spec.name}:{label}",
+                         kernel=spec.name, impl=label):
+            ct = sdv.classify(trace)
+        cref = shm_mod.get_plane().publish_classified(
+            f"{key}:cls:{sdv.geometry_fingerprint()}", ct,
+            prefix=prefix, transfer=True)
+        if cref is not None:
+            registry.counter("shm.classified_published").inc()
+            registry.counter("shm.bytes_published").inc(cref.size)
     log.event("impl.trace_ready", kernel=spec.name, impl=label,
               records=len(trace), wall_s=round(trace_gen_s, 6),
-              published=ref is not None)
+              published=ref is not None,
+              classified=cref is not None)
     return _GenOutcome(
         ref=ref,
+        cref=cref,
         records=len(trace),
         spans=tracer.spans,
         metrics=registry.snapshot(),
@@ -542,8 +617,10 @@ def _shard_task(args) -> _ImplOutcome:
     plane-published trace. Carries no spec and no workload — everything
     needed to rebuild the SDV is the config + VL, and the trace arrives
     as zero-copy views."""
-    (kernel, vl, axis, points, config, keep_reports, engine, tref,
-     attributions, trace_spans, runlog_on, trace_id, introspection) = args
+    (kernel, vl, axis, points, config, keep_reports, engine, tref, cref,
+     attributions, trace_spans, runlog_on, trace_id, introspection,
+     classify_name) = args
+    set_default_classifier(classify_name)
     t_begin = time.perf_counter()
     tracer, registry, log, es_before = _task_obs(
         trace_spans, runlog_on, trace_id, introspection)
@@ -559,15 +636,33 @@ def _shard_task(args) -> _ImplOutcome:
     if mapped:  # a real mapping, not the per-process memo serving a hit
         registry.counter("shm.traces_attached").inc()
         registry.counter("shm.bytes_attached").inc(mapped)
+    attached_cls = False
     try:
         sdv = FpgaSdv(config)
         if vl is not None:
             sdv.configure(max_vl=vl)
+        # seed the trace's classification from the plane instead of
+        # reclassifying this shard (a worker that already timed another
+        # shard of this trace serves it from the memoized trace object)
+        if cref is not None and not sdv.has_classification(trace):
+            ct = plane.attach_classified(cref, trace, sdv.config)
+            attached_cls = ct is not None
+            if ct is not None:
+                sdv.seed_classification(trace, ct)
+                registry.counter("shm.classified_attached").inc()
+                if introspection:
+                    engine_stats_mod.get_engine_stats().count(
+                        "classify.plane_attach_hits")
+            elif introspection:
+                engine_stats_mod.get_engine_stats().count(
+                    "classify.plane_attach_misses")
         measurements = _time_points(sdv, trace, kernel, label, axis,
                                     points, keep_reports, engine,
                                     attributions, tracer, registry)
     finally:
         plane.detach(tref)
+        if attached_cls:
+            plane.detach(cref)
     registry.counter("sweep.shards_timed").inc()
     registry.counter("sweep.points_timed").inc(len(points))
     wall_s = time.perf_counter() - t_begin
@@ -651,6 +746,7 @@ def _sweep_sharded(spec: KernelSpec, workload, axis: str,
     # an earlier sweep's parent already unlinked
     nonce = uuid.uuid4().hex[:8]
     labels = [impl_label(v) for v in impls]
+    classify_name = default_classifier()
     result = SweepResult(kernel=spec.name, axis=axis, points=points,
                          impls=labels)
     from repro.kernels import KERNELS
@@ -696,16 +792,18 @@ def _sweep_sharded(spec: KernelSpec, workload, axis: str,
                  trace_cache, workload_fp, prefix,
                  f"{nonce}:{spec.name}:{impl_label(vl)}",
                  tracer.enabled, runlog.enabled, runlog.trace_id,
-                 introspection)
+                 introspection, classify_name)
                 for vl in impls
             ]
 
             def gen_heartbeat(idx: int, out: _GenOutcome) -> None:
                 _adopt(out.ref)
+                _adopt(out.cref)
                 runlog.event("sweep.trace_ready", kernel=spec.name,
                              axis=axis, impl=labels[idx],
                              records=out.records,
                              published=out.ref is not None,
+                             classified=out.cref is not None,
                              worker_pid=out.pid,
                              wall_s=round(out.wall_s, 3))
 
@@ -715,6 +813,7 @@ def _sweep_sharded(spec: KernelSpec, workload, axis: str,
             for out in gen_outs:
                 _merge(out)
                 _adopt(out.ref)
+                _adopt(out.cref)
             runlog.event("sweep.shm_published", kernel=spec.name,
                          axis=axis, segments=len(to_release),
                          bytes=sum(r.size for r in to_release))
@@ -740,9 +839,10 @@ def _sweep_sharded(spec: KernelSpec, workload, axis: str,
             for i, lo, hi, _cost in shard_specs:
                 tasks.append(("shard", (
                     spec.name, impls[i], axis, points[lo:hi], config,
-                    keep_reports, engine, gen_outs[i].ref, attributions,
+                    keep_reports, engine, gen_outs[i].ref,
+                    gen_outs[i].cref, attributions,
                     tracer.enabled, runlog.enabled, runlog.trace_id,
-                    introspection)))
+                    introspection, classify_name)))
                 meta.append(("shard", i, lo))
             for i in whole_impls:
                 tasks.append(("whole", (
@@ -751,7 +851,7 @@ def _sweep_sharded(spec: KernelSpec, workload, axis: str,
                     rref if rref is not None else reference, keep_reports,
                     engine, trace_cache, tracer.enabled, attributions,
                     runlog.enabled, runlog.trace_id, introspection,
-                    workload_fp)))
+                    workload_fp, classify_name)))
                 meta.append(("whole", i, 0))
             runlog.event("sweep.shards_planned", kernel=spec.name,
                          axis=axis, shards=len(shard_specs),
@@ -904,7 +1004,8 @@ def _sweep(spec: KernelSpec, workload, axis: str, points: list[int],
         (payload, wref if wref is not None else workload, vl, axis,
          points, config, verify, rref if rref is not None else reference,
          keep_reports, engine, trace_cache, tracer.enabled, attributions,
-         runlog.enabled, runlog.trace_id, introspection, workload_fp)
+         runlog.enabled, runlog.trace_id, introspection, workload_fp,
+         default_classifier())
         for vl in impls
     ]
     labels = [impl_label(v) for v in impls]

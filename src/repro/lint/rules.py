@@ -184,6 +184,12 @@ _ALL_RULES = (
          "a file in the cache directory does not match the cache "
          "naming scheme",
          "only trace_cache_path-named .npz files belong there"),
+    Rule("S004", _W, "stale classified sidecar",
+         "a classified sidecar is orphaned (its companion trace file is "
+         "gone), from an older sidecar schema, or its embedded cache-"
+         "geometry fingerprint disagrees with its name — it will never "
+         "be loaded",
+         "delete the sidecar; reloads fall back to reclassification"),
     # ---- exported artifacts (O0xx) --------------------------------------
     Rule("O001", _E, "unrecognized artifact",
          "the file is neither a run manifest nor a trace_event dump",

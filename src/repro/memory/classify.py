@@ -172,9 +172,9 @@ def _coalesced_spans(cols, coalesce_gathers: bool
     keep = np.zeros(A, dtype=bool)
 
     def span_mask(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
-        edges = np.zeros(A + 1, dtype=np.int32)
-        np.add.at(edges, lo, 1)
-        np.add.at(edges, hi, -1)
+        # +1/-1 edge histogram; bincount beats np.add.at by a wide margin
+        edges = (np.bincount(lo, minlength=A + 1)
+                 - np.bincount(hi, minlength=A + 1))
         return np.cumsum(edges[:A]) > 0
 
     seq_idx = np.flatnonzero(vm_mask & (cols.pattern != idx_id))
@@ -203,8 +203,15 @@ def _coalesced_spans(cols, coalesce_gathers: bool
             span_id = np.repeat(np.arange(lens.shape[0], dtype=np.int64),
                                 lens)
             m = int(sub.max()) + 1 if total else 1
-            _, first = np.unique(span_id * m + sub, return_index=True)
-            keep[pos[first]] = True
+            # first occurrence per (span, line) key: a stable (radix)
+            # argsort puts the smallest original index first in each key
+            # group — np.unique(return_index) would mergesort instead
+            key = span_id * m + sub
+            order = np.argsort(key, kind="stable")
+            ks = key[order]
+            grp = np.ones(ks.shape[0], dtype=bool)
+            np.not_equal(ks[1:], ks[:-1], out=grp[1:])
+            keep[pos[order[grp]]] = True
 
     coal_idx = np.flatnonzero(keep)
     coal_lines = lines_all[coal_idx]
@@ -212,28 +219,19 @@ def _coalesced_spans(cols, coalesce_gathers: bool
     return vm_mask, coal_lines, c_off
 
 
-def classify_trace(trace: TraceBuffer, config: SdvConfig) -> ClassifiedTrace:
-    """Classify every memory reference of ``trace`` against fresh caches.
+def _prepare_rows(cols, config: SdvConfig
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                             np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized prep shared by both classification engines.
 
-    Consumes the trace's columns directly (zero-copy). The cache walk
-    below inlines the exact hit/LRU/victim decisions of
-    :class:`SetAssocCache` and :class:`L2HomeNode` — minus their stats and
-    directory bookkeeping, which classification never exposes — because a
-    method call per line request dominates the sweep wall-clock otherwise;
-    ``tests/memory`` pin the two implementations against each other.
+    Coalesces every vector-mem span and fills every knob-independent row
+    field — everything except the hit/miss counters and levels the cache
+    walk itself produces. Returns
+    ``(rows, vm_mask, coal_lines, c_off, span_len, is_scalar)``.
     """
-    if not trace.sealed:
-        raise TraceError("classify_trace requires a sealed trace")
-    config.validate()
     from repro.trace.events import REC_BARRIER, REC_SCALAR, REC_VECTOR
 
-    cols = trace.cols
     n = cols.n
-    mem_id = _OPCLASS_ID[VOpClass.MEM]
-    unit_id = _PATTERN_ID[VMemPattern.UNIT]
-    prefetch_depth = config.core.l1_prefetch_depth
-
-    # ---- vectorized prep: coalescing + bulk row fields -------------------
     vm_mask, coal_lines, c_off = _coalesced_spans(
         cols, config.vpu.coalesce_gathers)
     off = cols.addr_off
@@ -257,6 +255,39 @@ def classify_trace(trace: TraceBuffer, config: SdvConfig) -> ClassifiedTrace:
     rows["dep"] = cols.dep
     rows["scalar_dest"] = cols.scalar_dest
     rows["n_line_reqs"] = c_off[1:] - c_off[:-1]
+    return rows, vm_mask, coal_lines, c_off, span_len, is_scalar
+
+
+def classify_trace(trace: TraceBuffer, config: SdvConfig) -> ClassifiedTrace:
+    """Classify every memory reference of ``trace`` against fresh caches.
+
+    Consumes the trace's columns directly (zero-copy). The cache walk
+    below inlines the exact hit/LRU/victim decisions of
+    :class:`SetAssocCache` and :class:`L2HomeNode` — minus their stats and
+    directory bookkeeping, which classification never exposes — because a
+    method call per line request dominates the sweep wall-clock otherwise;
+    ``tests/memory`` pin the two implementations against each other. This
+    sequential walker is the reference spec; the array-backed engine in
+    :mod:`repro.memory.classify_fast` reproduces it bit-for-bit.
+    """
+    if not trace.sealed:
+        raise TraceError("classify_trace requires a sealed trace")
+    config.validate()
+    from repro.obs.engine_stats import get_engine_stats, \
+        introspection_enabled
+
+    if introspection_enabled():
+        get_engine_stats().count("classify.walk_runs")
+
+    cols = trace.cols
+    n = cols.n
+    unit_id = _PATTERN_ID[VMemPattern.UNIT]
+    prefetch_depth = config.core.l1_prefetch_depth
+
+    # ---- vectorized prep: coalescing + bulk row fields -------------------
+    rows, vm_mask, coal_lines, c_off, span_len, is_scalar = _prepare_rows(
+        cols, config)
+    off = cols.addr_off
 
     levels_per_record: list[np.ndarray | None] = [None] * n
 

@@ -25,11 +25,13 @@ with :class:`repro.memory.cache.SetAssocCache` at full associativity.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from repro.errors import TraceError
 from repro.memory.classify import _coalesce_lines
+from repro.memory.classify_fast import first_touch_mask, prev_occurrence
 from repro.trace.events import ScalarBlock, TraceBuffer, VectorInstr, VOpClass
 from repro.util.mathx import log2_int
 from repro.util.units import LINE_BYTES
@@ -61,28 +63,55 @@ class _Fenwick:
         return int(s)
 
 
-def reuse_distances(lines: np.ndarray) -> np.ndarray:
+def _stream_distances(lines: np.ndarray) -> np.ndarray:
+    """Stack distances of one contiguous stream (no set partitioning)."""
+    n = lines.shape[0]
+    out = np.full(n, INFINITE, dtype=np.int64)
+    if n == 0:
+        return out
+    # shared first-touch / previous-occurrence accounting with the trace
+    # classifier (repro.memory.classify_fast) — compulsory misses are
+    # exactly the prev < 0 rows in both
+    prev = prev_occurrence(lines).tolist()
+    tree = _Fenwick(n)
+    for t in range(n):
+        p = prev[t]
+        if p >= 0:
+            # distinct lines touched strictly between p and t: the tree
+            # holds a 1 at each line's latest occurrence before t
+            out[t] = tree.prefix(t - 1) - tree.prefix(p)
+            tree.add(p, -1)
+        tree.add(t, 1)
+    return out
+
+
+def reuse_distances(lines: np.ndarray, *,
+                    set_mask: int | None = None) -> np.ndarray:
     """LRU stack distance of every access in a line-number stream.
 
     Returns an int64 array aligned with ``lines``; first touches get
     :data:`INFINITE` (-1).
+
+    With ``set_mask`` the stream is partitioned by cache set — the same
+    per-set partition the fast classifier uses — and each access gets its
+    *within-set* stack distance: a ``W``-way true-LRU set-associative
+    cache hits an access iff that distance is ``< W``, so the per-set
+    histogram plays the role the plain one plays for fully-associative
+    caches.
     """
     lines = np.asarray(lines, dtype=np.int64)
-    n = lines.shape[0]
-    out = np.empty(n, dtype=np.int64)
-    last_seen: dict[int, int] = {}
-    tree = _Fenwick(n)
-    for t in range(n):
-        line = int(lines[t])
-        prev = last_seen.get(line)
-        if prev is None:
-            out[t] = INFINITE
-        else:
-            # distinct lines touched strictly between prev and t
-            out[t] = tree.prefix(t - 1) - tree.prefix(prev)
-            tree.add(prev, -1)
-        tree.add(t, 1)
-        last_seen[line] = t
+    if set_mask is None or lines.shape[0] == 0:
+        return _stream_distances(lines)
+    sets = lines & set_mask
+    order = np.argsort(sets, kind="stable")
+    s_sorted = sets[order]
+    heads = np.ones(s_sorted.shape[0], dtype=bool)
+    heads[1:] = s_sorted[1:] != s_sorted[:-1]
+    bounds = np.flatnonzero(heads).tolist() + [s_sorted.shape[0]]
+    l_sorted = lines[order]
+    out = np.empty(lines.shape[0], dtype=np.int64)
+    for a, b in zip(bounds, bounds[1:]):
+        out[order[a:b]] = _stream_distances(l_sorted[a:b])
     return out
 
 
@@ -105,18 +134,34 @@ class ReuseProfile:
     def footprint_bytes(self) -> int:
         return self.n_lines * LINE_BYTES
 
+    @cached_property
+    def _finite_sorted(self) -> np.ndarray:
+        """Sorted finite distances; the curve is read off it by bisection."""
+        d = self.distances
+        return np.sort(d[d != INFINITE])
+
     def miss_ratio(self, cache_lines: int) -> float:
-        """Miss ratio in a fully-associative LRU cache of ``cache_lines``."""
+        """Miss ratio in a fully-associative LRU cache of ``cache_lines``.
+
+        An access hits iff its distance is finite and ``< cache_lines``,
+        so the miss count is compulsory + finite distances beyond the
+        capacity — one bisection into the sorted distance distribution.
+        """
         if self.accesses == 0:
             return 0.0
-        misses = int(((self.distances == INFINITE)
-                      | (self.distances >= cache_lines)).sum())
-        return misses / self.accesses
+        hits = int(np.searchsorted(self._finite_sorted, cache_lines,
+                                   side="left"))
+        return (self.accesses - hits) / self.accesses
 
     def miss_ratio_curve(self, sizes_bytes: list[int]) -> dict[int, float]:
         """size (bytes) -> miss ratio, for plotting/working-set analysis."""
-        return {s: self.miss_ratio(max(1, s // LINE_BYTES))
-                for s in sizes_bytes}
+        if self.accesses == 0:
+            return dict.fromkeys(sizes_bytes, 0.0)
+        cls = np.array([max(1, s // LINE_BYTES) for s in sizes_bytes],
+                       dtype=np.int64)
+        hits = np.searchsorted(self._finite_sorted, cls, side="left")
+        return {s: float((self.accesses - h) / self.accesses)
+                for s, h in zip(sizes_bytes, hits.tolist())}
 
     def working_set_bytes(self, target_hit_rate: float = 0.95) -> int:
         """Smallest power-of-two cache size reaching the target hit rate.
@@ -157,5 +202,7 @@ def profile_trace(trace: TraceBuffer, **kwargs) -> ReuseProfile:
     lines = line_stream(trace, **kwargs)
     return ReuseProfile(
         distances=reuse_distances(lines),
-        n_lines=int(np.unique(lines).shape[0]) if lines.size else 0,
+        # distinct lines = first touches; same accounting the classifier
+        # uses for compulsory misses
+        n_lines=int(first_touch_mask(lines).sum()) if lines.size else 0,
     )

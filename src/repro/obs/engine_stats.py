@@ -80,6 +80,10 @@ class EngineStats:
                                      "lower_cache.misses"),
             "trace_cache.hit_rate": ("trace_cache.hits",
                                      "trace_cache.misses"),
+            "classify.sidecar_hit_rate": ("classify.sidecar_hits",
+                                          "classify.sidecar_misses"),
+            "classify.plane_attach_rate": ("classify.plane_attach_hits",
+                                           "classify.plane_attach_misses"),
         }
         for name, (h, m) in pairs.items():
             r = self._rate(h, m)
@@ -97,6 +101,11 @@ class EngineStats:
         if ts:
             out["event.tokens_per_timestamp"] = (
                 self.counters.get("event.tokens", 0) / ts)
+        runs = (self.counters.get("classify.stack_runs", 0)
+                + self.counters.get("classify.walk_runs", 0))
+        if runs:
+            out["classify.stack_share"] = (
+                self.counters.get("classify.stack_runs", 0) / runs)
         return out
 
     def render(self) -> str:

@@ -151,6 +151,7 @@ def _generate_traces_parallel(spec, workload, impl_vls, *, verify: bool,
     from repro.core import shm as shm_mod
     from repro.core.parallel import run_tasks
     from repro.core.sweeps import _gen_task, _sweep_worker_init
+    from repro.memory.classify_fast import default_classifier
     from repro.obs import engine_stats as es_mod
     from repro.obs.metrics import get_metrics
     from repro.obs.runlog import get_runlog
@@ -184,7 +185,8 @@ def _generate_traces_parallel(spec, workload, impl_vls, *, verify: bool,
          wref if wref is not None else workload, vl, None, verify,
          rref if rref is not None else reference, trace_cache, workload_fp,
          prefix, f"{nonce}:{spec.name}:{impl_label(vl)}",
-         tracer.enabled, runlog.enabled, runlog.trace_id, introspection)
+         tracer.enabled, runlog.enabled, runlog.trace_id, introspection,
+         default_classifier())
         for vl in impl_vls
     ]
     outs = run_tasks(_gen_task, tasks, jobs=jobs,
@@ -196,6 +198,11 @@ def _generate_traces_parallel(spec, workload, impl_vls, *, verify: bool,
         runlog.adopt(out.log)
         if out.pid != my_pid:
             engine_stats.merge(out.engine_stats)
+        if out.cref is not None and plane.adopt(out.cref):
+            # own the classified sibling's lifecycle too (the profile
+            # harness classifies per-sdv, so it only needs the segment
+            # released, not attached)
+            refs.append(out.cref)
         if out.ref is None or not plane.adopt(out.ref):
             continue
         refs.append(out.ref)

@@ -37,8 +37,8 @@ from repro.memory.classify import (
     KIND_VARITH,
     KIND_VMEM,
     ClassifiedTrace,
-    classify_trace,
 )
+from repro.memory.classify_fast import CLASSIFIERS, default_classifier
 from repro.soc.hwcounters import HwCounters
 from repro.trace.events import TraceBuffer
 
@@ -71,13 +71,23 @@ class FpgaSdv:
     """The emulated RISC-V + VPU + NoC + L2HN system."""
 
     def __init__(self, config: SdvConfig | None = None, *,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast",
+                 classify: str | None = None) -> None:
         self.config = (config if config is not None else SdvConfig()).validate()
         if engine not in ENGINES:
             raise ConfigError(
                 f"unknown engine '{engine}' (choose from {sorted(ENGINES)})"
             )
+        if classify is not None and classify not in CLASSIFIERS:
+            raise ConfigError(
+                f"unknown classifier '{classify}' "
+                f"(choose from {sorted(CLASSIFIERS)})"
+            )
         self.engine = engine
+        # None = follow the module-wide default (set_default_classifier),
+        # resolved at each classify() call so CLI overrides reach existing
+        # boards too
+        self._classify_name = classify
         self.counters = HwCounters()
 
     # ------------------------------------------------------------- knobs
@@ -140,22 +150,60 @@ class FpgaSdv:
     # backwards-compatible alias
     _geometry_key = geometry_key
 
+    def geometry_fingerprint(self) -> str:
+        """12-hex digest of :meth:`geometry_key` — the cache-geometry
+        fingerprint the classified trace sidecar and the shm classified
+        plane key their payloads on."""
+        import hashlib
+
+        return hashlib.sha256(
+            repr(self.geometry_key()).encode()).hexdigest()[:12]
+
+    def has_classification(self, trace: TraceBuffer) -> bool:
+        """True when ``trace`` already carries a classification for the
+        current engine + geometry (memoized, seeded, or attached)."""
+        cache = getattr(trace, "_classified_cache", None)
+        return (cache is not None
+                and (self.classify_name, *self._geometry_key()) in cache)
+
+    @property
+    def classify_name(self) -> str:
+        """The active classification engine (``"stack"`` or ``"walk"``)."""
+        return self._classify_name or default_classifier()
+
     def classify(self, trace: TraceBuffer) -> ClassifiedTrace:
-        """Classify (or fetch the cached classification of) a sealed trace."""
+        """Classify (or fetch the cached classification of) a sealed trace.
+
+        Both engines are bit-identical, but the cache key still carries the
+        engine name so equality tests (and a hypothetical divergence) never
+        read one engine's result through the other's selector.
+        """
         cache = getattr(trace, "_classified_cache", None)
         if cache is None:
             cache = {}
             setattr(trace, "_classified_cache", cache)
-        key = self._geometry_key()
+        name = self.classify_name
+        key = (name, *self._geometry_key())
         ct = cache.get(key)
         if ct is None:
             _count_cache("classify_cache.misses")
-            ct = classify_trace(trace, self.config)
+            ct = CLASSIFIERS[name](trace, self.config)
             cache[key] = ct
         else:
             _count_cache("classify_cache.hits")
         # re-bind the current knob settings (latency/bandwidth/VPU timing)
         return dataclasses.replace(ct, config=self.config)
+
+    def seed_classification(self, trace: TraceBuffer,
+                            ct: ClassifiedTrace) -> None:
+        """Pre-load the classification cache with an externally computed
+        result (trace-cache sidecar reload or a shm classified-plane
+        attach), keyed under the current engine + geometry."""
+        cache = getattr(trace, "_classified_cache", None)
+        if cache is None:
+            cache = {}
+            setattr(trace, "_classified_cache", cache)
+        cache[(self.classify_name, *self._geometry_key())] = ct
 
     def lower(self, trace: TraceBuffer) -> LoweredTrace:
         """Lower (or fetch the cached lowering of) a sealed trace.

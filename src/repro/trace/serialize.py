@@ -17,6 +17,7 @@ string, reconstructed through the dataclass path) still load.
 from __future__ import annotations
 
 import os
+import zipfile
 
 import numpy as np
 
@@ -34,6 +35,10 @@ from repro.trace.events import (
 #: current on-disk format; also part of the sweep trace-cache key, so stale
 #: cache entries from an older schema are never picked up.
 FORMAT_VERSION = 2
+
+#: on-disk format of the classified sidecar (``<trace>.clsN-<geom>.npz``)
+#: that lets ``--trace-cache`` reloads skip reclassification entirely.
+CLASSIFIED_FORMAT_VERSION = 1
 
 _V1_KIND = {"scalar": 0, "vector": 1, "barrier": 2}
 _OPCLASS = list(VOpClass)
@@ -91,6 +96,62 @@ def _load_v2(z) -> TraceBuffer:
         **{name: z[name] for name in _V2_COLUMNS},
     )
     return TraceBuffer.from_columns(cols)
+
+
+# ------------------------------------------------------- classified sidecar
+
+def save_classified(ct, path: str | os.PathLike, *,
+                    geometry_fp: str) -> None:
+    """Persist a trace's knob-independent classification next to its
+    cached trace file.
+
+    ``ct`` is a :class:`repro.memory.classify.ClassifiedTrace`;
+    ``geometry_fp`` is the cache-geometry fingerprint
+    (:meth:`repro.soc.sdv.FpgaSdv.geometry_fingerprint`) the
+    classification was computed under — embedded so a loader never
+    trusts the filename alone. The ragged ``levels`` list is stored in
+    the same ``(lens, flat)`` wire format the shm classified plane uses.
+    """
+    from repro.memory.classify_fast import pack_levels
+
+    lens, flat = pack_levels(ct.levels)
+    np.savez_compressed(
+        path,
+        version=np.int64(CLASSIFIED_FORMAT_VERSION),
+        geometry=np.asarray(geometry_fp),
+        rows=np.ascontiguousarray(ct.rows),
+        lens=lens, flat=flat,
+    )
+
+
+def load_classified(path: str | os.PathLike, trace: TraceBuffer, config, *,
+                    geometry_fp: str):
+    """Load a classified sidecar saved by :func:`save_classified`.
+
+    Returns a :class:`~repro.memory.classify.ClassifiedTrace` bound to
+    ``trace``/``config``, or ``None`` when the sidecar is unreadable,
+    from a different format version, recorded under a different cache
+    geometry, or misaligned with the trace — any of which just means
+    "reclassify" to the caller, never an error.
+    """
+    from repro.memory.classify import ClassifiedTrace
+    from repro.memory.classify_fast import unpack_levels
+
+    try:
+        with np.load(path) as z:
+            if int(z["version"]) != CLASSIFIED_FORMAT_VERSION:
+                return None
+            if str(z["geometry"]) != geometry_fp:
+                return None
+            rows = z["rows"]
+            lens = z["lens"]
+            flat = z["flat"]
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        return None
+    if rows.shape[0] != len(trace) or lens.shape[0] != len(trace):
+        return None
+    return ClassifiedTrace(rows=rows, levels=unpack_levels(lens, flat),
+                           trace=trace, config=config)
 
 
 # --------------------------------------------------------------- v1 support

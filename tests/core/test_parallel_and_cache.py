@@ -284,8 +284,11 @@ class TestTraceCache:
         workload = spec.prepare(get_scale("smoke"), 7)
         first = latency_sweep(spec, workload, vls=(8,),
                               trace_cache=tmp_path)
-        files = list(tmp_path.glob("*.npz"))
-        assert len(files) == 2  # scalar + vl8
+        traces = [f for f in tmp_path.glob("*.npz")
+                  if ".cls" not in f.name]
+        sidecars = [f for f in tmp_path.glob("*.npz") if ".cls" in f.name]
+        assert len(traces) == 2  # scalar + vl8
+        assert len(sidecars) == 2  # one classified sidecar per trace
         second = latency_sweep(spec, workload, vls=(8,),
                                trace_cache=tmp_path)
         for impl in first.impls:
@@ -413,3 +416,69 @@ class TestHoistedReference:
         sdv, trace = run_implementation(poisoned, workload, 8,
                                         verify=True, reference=ref)
         assert trace.sealed
+
+
+class TestClassifiedSidecar:
+    """The classified sidecar: reloads skip reclassification entirely."""
+
+    def _warm(self, tmp_path):
+        spec = KERNELS["fft"]
+        workload = spec.prepare(get_scale("smoke"), 7)
+        latency_sweep(spec, workload, vls=(8,), trace_cache=tmp_path)
+        return spec, workload
+
+    def test_reload_seeds_from_sidecar_without_reclassifying(self, tmp_path):
+        from repro.core import sweeps as sweeps_mod
+        from repro.obs import engine_stats as es_mod
+
+        spec, workload = self._warm(tmp_path)
+        first = latency_sweep(spec, workload, vls=(8,),
+                              trace_cache=tmp_path, verify=False)
+        # drop the in-process trace memo: memoized traces still carry
+        # their classification, which would mask the sidecar path
+        sweeps_mod._TRACE_MEMO.clear()
+        was = es_mod.introspection_enabled()
+        collector = es_mod.set_introspection(True)
+        before = collector.snapshot()
+        try:
+            second = latency_sweep(spec, workload, vls=(8,),
+                                   trace_cache=tmp_path, verify=False)
+        finally:
+            es_mod.set_introspection(was)
+        delta = es_mod.snapshot_delta(
+            before, collector.snapshot())["counters"]
+        for impl in first.impls:
+            assert first.series(impl) == second.series(impl)
+        assert delta.get("classify.sidecar_hits") == 2  # scalar + vl8
+        assert delta.get("classify.sidecar_misses", 0) == 0
+        # sidecar seeding means zero classification runs on reload
+        assert delta.get("classify.stack_runs", 0) \
+            + delta.get("classify.walk_runs", 0) == 0
+
+    def test_stale_geometry_sidecar_is_ignored(self, tmp_path):
+        from repro.core import sweeps as sweeps_mod
+        from repro.core.sweeps import run_implementation
+        from repro.obs import engine_stats as es_mod
+
+        spec, workload = self._warm(tmp_path)
+        sweeps_mod._TRACE_MEMO.clear()
+        for side in tmp_path.glob("*.npz"):
+            if ".cls" in side.name:
+                # keep the filename honest but corrupt the payload so the
+                # embedded-fingerprint check rejects it on load
+                side.write_bytes(b"not an npz")
+        was = es_mod.introspection_enabled()
+        collector = es_mod.set_introspection(True)
+        before = collector.snapshot()
+        try:
+            sdv, trace = run_implementation(spec, workload, 8,
+                                            verify=False,
+                                            trace_cache=tmp_path)
+            ct = sdv.classify(trace)
+        finally:
+            es_mod.set_introspection(was)
+        delta = es_mod.snapshot_delta(
+            before, collector.snapshot())["counters"]
+        assert ct is not None
+        assert delta.get("classify.sidecar_misses", 0) >= 1
+        assert delta.get("classify.sidecar_hits", 0) == 0

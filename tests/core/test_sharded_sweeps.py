@@ -288,3 +288,39 @@ class TestProfileParallel:
                                 shm=False)
         for a, b in zip(serial.entries, fanned.entries):
             assert a.attribution.total == b.attribution.total
+
+
+@needs_shm
+class TestClassifiedPlaneHandoff:
+    """Phase A classifies once and publishes; shards attach, never
+    reclassify."""
+
+    def test_shards_attach_published_classification(self):
+        from repro.obs import engine_stats as es_mod
+
+        spec, workload = _workload("spmv")
+        serial = latency_sweep(spec, workload, latencies=LATS, vls=VLS,
+                               verify=False, engine="event")
+        was = es_mod.introspection_enabled()
+        collector = es_mod.set_introspection(True)
+        before = collector.snapshot()
+        try:
+            sharded = latency_sweep(spec, workload, latencies=LATS,
+                                    vls=VLS, verify=False, engine="event",
+                                    jobs=2)
+        finally:
+            es_mod.set_introspection(was)
+        delta = es_mod.snapshot_delta(
+            before, collector.snapshot())["counters"]
+        assert _rows(serial) == _rows(sharded)
+        assert _no_leaked_segments()
+        n_impls = len(VLS) + 1  # scalar + each VL
+        # every classification ran in phase A — one per implementation —
+        # and no shard (phase B) ever reclassified
+        assert delta.get("classify_cache.misses") == n_impls
+        assert delta.get("classify.stack_runs", 0) \
+            + delta.get("classify.walk_runs", 0) == n_impls
+        # at least one shard landed on a non-publisher worker and pulled
+        # the classification off the plane
+        assert delta.get("classify.plane_attach_hits", 0) >= 1
+        assert delta.get("classify.plane_attach_misses", 0) == 0

@@ -302,3 +302,58 @@ class TestWorkloadPlane:
         finally:
             shm_mod.get_plane().release(ref)
             shm_mod._WORKLOAD_MEMO.pop(ref.name, None)
+
+
+@needs_shm
+class TestClassifiedPlane:
+    def _classified(self, kernel="fft", vl=8):
+        from repro.config import SdvConfig
+        from repro.memory.classify_fast import classify_trace_fast
+
+        trace = _smoke_trace(kernel, vl)
+        return trace, classify_trace_fast(trace, SdvConfig().validate())
+
+    def test_round_trip_bit_identical(self):
+        from repro.core.shm import TracePlane
+
+        trace, ct = self._classified()
+        plane = TracePlane()
+        try:
+            ref = plane.publish_classified("c:fft", ct, prefix=_PREFIX)
+            assert ref is not None and ref.kind == "classified"
+            other = TracePlane()
+            got = other.attach_classified(ref, trace, ct.config)
+            assert got is not None and got is not ct
+            assert np.array_equal(got.rows, ct.rows)
+            assert len(got.levels) == len(ct.levels)
+            for x, y in zip(got.levels, ct.levels):
+                assert (x is None) == (y is None)
+                if x is not None:
+                    assert np.array_equal(x, y)
+            assert got.totals == ct.totals
+            other.detach(ref)
+        finally:
+            plane.unlink_all()
+
+    def test_publisher_attach_serves_original_object(self):
+        from repro.core.shm import TracePlane
+
+        trace, ct = self._classified()
+        plane = TracePlane()
+        try:
+            ref = plane.publish_classified("c:memo", ct, prefix=_PREFIX)
+            assert ref is not None
+            assert plane.attach_classified(ref, trace, ct.config) is ct
+            plane.detach(ref)
+        finally:
+            plane.unlink_all()
+
+    def test_unlink_leaves_no_segment(self):
+        from repro.core.shm import TracePlane
+
+        _trace, ct = self._classified()
+        plane = TracePlane()
+        ref = plane.publish_classified("c:leak", ct, prefix=_PREFIX)
+        assert ref is not None
+        plane.unlink_all()
+        assert not _segment_exists(ref.name)

@@ -110,18 +110,71 @@ class TestTraceCacheAudit:
         (tmp_path / "leftover.npz").write_bytes(b"x")
         assert rules_of(check_trace_cache(tmp_path)) == ["S003"]
 
+    @staticmethod
+    def _trace_entry(tmp_path):
+        """The cached trace itself (not its classified sidecar)."""
+        return next(f for f in tmp_path.glob("*.npz")
+                    if ".cls" not in f.name)
+
+    @staticmethod
+    def _drop_sidecars(tmp_path):
+        for side in tmp_path.glob("*.npz"):
+            if ".cls" in side.name:
+                side.unlink()
+
     def test_stale_schema_version(self, tmp_path):
         self._warm(tmp_path)
-        entry = next(tmp_path.glob("*.npz"))
+        self._drop_sidecars(tmp_path)
+        entry = self._trace_entry(tmp_path)
         stale = entry.name.replace("-t", "-t9", 1)
         entry.rename(tmp_path / stale)
         assert rules_of(check_trace_cache(tmp_path)) == ["S001"]
 
     def test_stale_kernel_fingerprint(self, tmp_path):
         self._warm(tmp_path)
-        entry = next(tmp_path.glob("*.npz"))
+        self._drop_sidecars(tmp_path)
+        entry = self._trace_entry(tmp_path)
         stem, src = entry.name.rsplit("-", 1)
         entry.rename(tmp_path / f"{stem}-{'0' * 12}.npz")
         found = check_trace_cache(tmp_path)
         assert rules_of(found) == ["S002"]
         assert error_rules(found) == ["S002"]
+
+    # ---- S004: classified sidecars ------------------------------------
+
+    def _sidecar(self, tmp_path):
+        return next(f for f in tmp_path.glob("*.npz") if ".cls" in f.name)
+
+    def test_fresh_sidecar_is_clean(self, tmp_path):
+        self._warm(tmp_path)
+        assert self._sidecar(tmp_path) is not None
+        assert check_trace_cache(tmp_path) == []
+
+    def test_orphaned_sidecar(self, tmp_path):
+        self._warm(tmp_path)
+        self._trace_entry(tmp_path).unlink()
+        found = check_trace_cache(tmp_path)
+        assert rules_of(found) == ["S004"]
+        assert "orphaned" in found[0].message
+
+    def test_stale_sidecar_schema(self, tmp_path):
+        self._warm(tmp_path)
+        side = self._sidecar(tmp_path)
+        side.rename(tmp_path / side.name.replace(".cls", ".cls9", 1))
+        assert rules_of(check_trace_cache(tmp_path)) == ["S004"]
+
+    def test_geometry_mismatch(self, tmp_path):
+        self._warm(tmp_path)
+        side = self._sidecar(tmp_path)
+        stem, tail = side.name.rsplit("-", 1)
+        side.rename(tmp_path / f"{stem}-{'0' * 12}.npz")
+        found = check_trace_cache(tmp_path)
+        assert rules_of(found) == ["S004"]
+        assert "disagrees" in found[0].message
+
+    def test_unreadable_sidecar(self, tmp_path):
+        self._warm(tmp_path)
+        self._sidecar(tmp_path).write_bytes(b"not an npz")
+        found = check_trace_cache(tmp_path)
+        assert rules_of(found) == ["S004"]
+        assert "unreadable" in found[0].message

@@ -197,3 +197,40 @@ def test_property_stats_balance(ops):
     s = cache.stats
     assert s.hits + s.misses == s.accesses == len(ops)
     assert s.writebacks <= s.write_accesses
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_property_batch_kernel_matches_scalar_reference(data):
+    """Long access_lines batches run the per-set stack-distance kernel;
+    they must be bit-identical to looping access_line — per-access hits
+    and writebacks, final tag/dirty state, and stats — including when
+    batches interleave with scalar accesses that carry state across."""
+    ways = data.draw(st.sampled_from([1, 2, 4, 8]))
+    sets = data.draw(st.sampled_from([2, 4, 8]))
+    ref = SetAssocCache(sets * ways * 64, ways)
+    vec = SetAssocCache(sets * ways * 64, ways)
+    floor = SetAssocCache._BATCH_MIN
+    for _phase in range(data.draw(st.integers(1, 3))):
+        n = data.draw(st.integers(floor, floor + 200))
+        lines = np.asarray(
+            data.draw(st.lists(st.integers(0, 100),
+                               min_size=n, max_size=n)), dtype=np.int64)
+        writes = np.asarray(
+            data.draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+        want_h = np.empty(n, dtype=bool)
+        want_w = np.empty(n, dtype=bool)
+        for i in range(n):
+            h, _v, d = ref.access_line(int(lines[i]), write=bool(writes[i]))
+            want_h[i] = h
+            want_w[i] = d
+        got_h, got_w = vec.access_lines(lines, writes)
+        assert np.array_equal(got_h, want_h)
+        assert np.array_equal(got_w, want_w)
+        # a few scalar accesses in between: state must round-trip
+        for line in data.draw(st.lists(st.integers(0, 100), max_size=5)):
+            assert (vec.access_line(line, write=True)
+                    == ref.access_line(line, write=True))
+    for a, b in zip(ref._sets, vec._sets):
+        assert a.tags == b.tags and a.dirty == b.dirty
+    assert ref.stats == vec.stats

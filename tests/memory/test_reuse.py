@@ -147,3 +147,52 @@ class TestTraceProfiles:
         actual_miss = (t["dram_reads"]) / max(1, vec_total
                                               + t["scalar_mem_ops"])
         assert predicted_miss == pytest.approx(actual_miss, abs=0.15)
+
+
+class TestPerSetDistances:
+    """set_mask partitioning — the classifier's set-associative view."""
+
+    def test_single_set_mask_matches_plain(self):
+        lines = np.array([0, 1, 2, 1, 0, 3, 0])
+        assert np.array_equal(reuse_distances(lines, set_mask=0),
+                              reuse_distances(lines))
+
+    def test_partition_isolates_sets(self):
+        # even/odd lines never interfere with a 2-set mask
+        lines = np.array([0, 1, 0, 1])
+        d = reuse_distances(lines, set_mask=1)
+        assert list(d) == [INFINITE, INFINITE, 0, 0]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 60), min_size=1, max_size=300),
+           st.sampled_from([(1, 4), (4, 2), (8, 4), (16, 1)]))
+    def test_property_predicts_set_assoc_lru(self, lines, geom):
+        """A W-way set-assoc LRU cache hits iff the per-set distance is
+        < W — the same correspondence the plain histogram has for
+        fully-associative caches."""
+        n_sets, ways = geom
+        lines = np.asarray(lines, dtype=np.int64)
+        cache = SetAssocCache(n_sets * ways * LINE_BYTES, ways)
+        assert cache.n_sets == n_sets
+        hits_sim = np.array(
+            [cache.access_line(int(l))[0] for l in lines])
+        d = reuse_distances(lines, set_mask=n_sets - 1)
+        hits_pred = (d != INFINITE) & (d < ways)
+        assert np.array_equal(hits_sim, hits_pred)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 40), min_size=0, max_size=200))
+    def test_property_curve_matches_direct_recount(self, lines):
+        """The bisection-based curve equals the definitional per-size
+        recount over the raw distance array."""
+        d = reuse_distances(np.asarray(lines, dtype=np.int64))
+        p = ReuseProfile(distances=d, n_lines=len(set(lines)))
+        sizes = [LINE_BYTES, 4 * LINE_BYTES, 32 * LINE_BYTES]
+        curve = p.miss_ratio_curve(sizes)
+        for s in sizes:
+            c = max(1, s // LINE_BYTES)
+            if p.accesses == 0:
+                assert curve[s] == 0.0
+            else:
+                direct = ((d == INFINITE) | (d >= c)).sum() / p.accesses
+                assert curve[s] == pytest.approx(direct)
